@@ -1,0 +1,166 @@
+// Command lasql runs extended-SQL scripts against a fresh in-process engine:
+//
+//	lasql script.sql            run a script file
+//	echo "SELECT 1+2" | lasql   run statements from stdin
+//	lasql -i                    interactive prompt (one statement per line,
+//	                            terminated by ';')
+//
+// The engine supports the paper's VECTOR/MATRIX/LABELED_SCALAR types, the
+// linear-algebra built-ins, and EXPLAIN.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"relalg/internal/core"
+	"relalg/internal/csvio"
+)
+
+// assignFlags collects repeatable table=path flags.
+type assignFlags []string
+
+func (a *assignFlags) String() string { return strings.Join(*a, ",") }
+func (a *assignFlags) Set(s string) error {
+	if !strings.Contains(s, "=") {
+		return fmt.Errorf("want table=path, got %q", s)
+	}
+	*a = append(*a, s)
+	return nil
+}
+
+func main() {
+	interactive := flag.Bool("i", false, "interactive mode")
+	nodes := flag.Int("nodes", 10, "simulated cluster nodes")
+	perNode := flag.Int("partitions", 2, "partitions per node")
+	initScript := flag.String("init", "", "DDL script run before -load (e.g. CREATE TABLE statements)")
+	var loads, dumps assignFlags
+	flag.Var(&loads, "load", "load CSV (with header) into a table after -init, before the script: table=path (repeatable)")
+	flag.Var(&dumps, "dump", "dump a table to CSV after the script: table=path (repeatable)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Cluster.Nodes = *nodes
+	cfg.Cluster.PartitionsPerNode = *perNode
+	db := core.Open(cfg)
+
+	doLoads := func() {
+		for _, spec := range loads {
+			table, path, _ := strings.Cut(spec, "=")
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+				os.Exit(1)
+			}
+			n, err := csvio.Load(db, table, f, true)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lasql: loading %s: %v\n", spec, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "loaded %d rows into %s\n", n, table)
+		}
+	}
+	doDumps := func() {
+		for _, spec := range dumps {
+			table, path, _ := strings.Cut(spec, "=")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+				os.Exit(1)
+			}
+			err = csvio.DumpTable(db, table, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lasql: dumping %s: %v\n", spec, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *initScript != "" {
+		src, err := os.ReadFile(*initScript)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := db.RunScript(string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "lasql: init: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	doLoads()
+
+	if *interactive {
+		repl(db)
+		doDumps()
+		return
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+		os.Exit(1)
+	}
+	results, err := db.RunScript(string(src))
+	for _, res := range results {
+		printResult(res)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+		os.Exit(1)
+	}
+	doDumps()
+}
+
+func repl(db *core.Database) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("lasql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("   ..> ")
+			continue
+		}
+		results, err := db.RunScript(buf.String())
+		buf.Reset()
+		for _, res := range results {
+			printResult(res)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+		fmt.Print("lasql> ")
+	}
+}
+
+func printResult(res *core.Result) {
+	names := make([]string, len(res.Schema))
+	for i, f := range res.Schema {
+		names[i] = f.Name
+	}
+	fmt.Println(strings.Join(names, "\t"))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Printf("(%d rows; %s)\n\n", len(res.Rows), res.Stats)
+}

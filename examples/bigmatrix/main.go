@@ -1,0 +1,108 @@
+// Bigmatrix: the paper's §3.4 recipe for matrices too large for one node's
+// RAM — store them as relations of tiles and multiply with plain SQL:
+//
+//	SELECT lhs.tileRow, rhs.tileCol, SUM(matrix_multiply(lhs.mat, rhs.mat))
+//	FROM bigMatrix AS lhs, anotherBigMat AS rhs
+//	WHERE lhs.tileCol = rhs.tileRow
+//	GROUP BY lhs.tileRow, rhs.tileCol
+//
+// The tile tables are declared PARTITION BY HASH on the join column, so the
+// pre-partitioned side is never re-shuffled (§2.1's "R was already
+// partitioned on the join key" — watch the shuffle counters).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"relalg/internal/core"
+	"relalg/internal/linalg"
+	"relalg/internal/value"
+)
+
+const (
+	tileGrid = 4  // 4x4 grid of tiles
+	tileSize = 64 // each tile is 64x64 -> full matrices are 256x256
+)
+
+func randomTiled(seed int64) *linalg.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(tileGrid*tileSize, tileGrid*tileSize)
+	for i := range m.Data {
+		m.Data[i] = r.Float64()*2 - 1
+	}
+	return m
+}
+
+func loadTiles(db *core.Database, table string, m *linalg.Matrix) error {
+	var rows []value.Row
+	for tr := 0; tr < tileGrid; tr++ {
+		for tc := 0; tc < tileGrid; tc++ {
+			tile, err := m.SubMatrix(tr*tileSize, (tr+1)*tileSize, tc*tileSize, (tc+1)*tileSize)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, value.Row{value.Int(int64(tr)), value.Int(int64(tc)), value.Matrix(tile)})
+		}
+	}
+	return db.LoadTable(table, rows)
+}
+
+func main() {
+	db := core.Open(core.DefaultConfig())
+	// lhs is pre-partitioned on its tile column (the join key); rhs on its
+	// tile row. Neither side needs a shuffle for the multiply join.
+	db.MustExec(fmt.Sprintf(
+		`CREATE TABLE bigmatrix (tilerow INTEGER, tilecol INTEGER, mat MATRIX[%d][%d]) PARTITION BY HASH (tilecol)`,
+		tileSize, tileSize))
+	db.MustExec(fmt.Sprintf(
+		`CREATE TABLE anotherbigmat (tilerow INTEGER, tilecol INTEGER, mat MATRIX[%d][%d]) PARTITION BY HASH (tilerow)`,
+		tileSize, tileSize))
+
+	A, B := randomTiled(1), randomTiled(2)
+	if err := loadTiles(db, "bigmatrix", A); err != nil {
+		log.Fatal(err)
+	}
+	if err := loadTiles(db, "anotherbigmat", B); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Query(`SELECT lhs.tilerow, rhs.tilecol,
+			SUM(matrix_multiply(lhs.mat, rhs.mat)) AS tile
+		FROM bigmatrix AS lhs, anotherbigmat AS rhs
+		WHERE lhs.tilecol = rhs.tilerow
+		GROUP BY lhs.tilerow, rhs.tilecol`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed multiply produced %d result tiles\n", len(res.Rows))
+	fmt.Printf("cluster traffic: %s\n", res.Stats)
+
+	// Verify every tile against a dense reference multiply.
+	want, err := A.MulMat(B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for _, row := range res.Rows {
+		tr, tc := int(row[0].I), int(row[1].I)
+		ref, err := want.SubMatrix(tr*tileSize, (tr+1)*tileSize, tc*tileSize, (tc+1)*tileSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := row[2].Mat
+		for i := range got.Data {
+			if d := got.Data[i] - ref.Data[i]; d > maxErr {
+				maxErr = d
+			} else if -d > maxErr {
+				maxErr = -d
+			}
+		}
+	}
+	fmt.Printf("max |tile - dense reference| entry: %.3e\n", maxErr)
+	if maxErr > 1e-9 {
+		log.Fatal("tiled multiply disagrees with the dense reference")
+	}
+	fmt.Println("tiled multiply matches the dense reference")
+}

@@ -1,0 +1,69 @@
+// Distance: the paper's §2.3/§5 metric-distance computation — for every
+// point, the smallest d²_A(x_i, x') over the other points, and the point
+// whose nearest neighbour is farthest (a kNN-style outlier query under a
+// Riemannian metric A).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relalg/internal/core"
+	"relalg/internal/value"
+	"relalg/internal/workload"
+)
+
+const (
+	nPoints = 200
+	dims    = 6
+)
+
+func main() {
+	db := core.Open(core.DefaultConfig())
+
+	data := workload.DenseVectors(10, nPoints, dims)
+	metric := workload.MetricMatrix(11, dims)
+
+	db.MustExec(`CREATE TABLE x_m (dataid INTEGER, data VECTOR[])`)
+	if err := db.LoadTable("x_m", workload.VectorRows(data)); err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE a (val MATRIX[][])`)
+	if err := db.LoadTable("a", []value.Row{{value.Matrix(metric)}}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's MX table: each point pre-multiplied by the metric.
+	db.MustExec(`CREATE VIEW mx AS
+		SELECT x.dataid AS id, matrix_vector_multiply(a.val, x.data) AS mx_data
+		FROM x_m AS x, a`)
+
+	// DISTANCESM: the minimum metric distance from each point to any other.
+	db.MustExec(`CREATE VIEW distancesm AS
+		SELECT a.dataid AS id, MIN(inner_product(mxx.mx_data, a.data)) AS dist
+		FROM x_m AS a, mx AS mxx
+		WHERE a.dataid <> mxx.id
+		GROUP BY a.dataid`)
+
+	// The most isolated points: max of the minimums.
+	res, err := db.Query(`SELECT d.id, d.dist
+		FROM distancesm AS d, (SELECT MAX(dist) AS top FROM distancesm) AS mm
+		WHERE d.dist = mm.top`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("most isolated point: id=%v  min-distance=%v\n", row[0], row[1])
+	}
+
+	// Show the five most isolated points for context.
+	res, err = db.Query(`SELECT id, dist FROM distancesm ORDER BY dist DESC LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop five by nearest-neighbour distance:")
+	for _, row := range res.Rows {
+		fmt.Printf("  id=%-4v dist=%v\n", row[0], row[1])
+	}
+	fmt.Printf("\n%s\n", res.Stats)
+}

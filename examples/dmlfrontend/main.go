@@ -1,0 +1,78 @@
+// DML frontend: the higher-level matrix language the paper's introduction
+// proposes building on top of the SQL extensions ("a math-like domain
+// specific language ... could translate the computation to a database
+// computation"). Every assignment below compiles to one extended-SQL
+// CREATE TABLE ... AS SELECT; the relational optimizer and distributed
+// executor run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relalg/internal/core"
+	"relalg/internal/dml"
+	"relalg/internal/workload"
+)
+
+func main() {
+	db := core.Open(core.DefaultConfig())
+	s := dml.New(db)
+
+	// A regression problem with a known coefficient vector.
+	const n, d = 400, 6
+	data := workload.DenseVectors(1, n, d)
+	beta := workload.Beta(2, d)
+	y := make([]float64, n)
+	for i, row := range data {
+		for j, x := range row {
+			y[i] += x * beta[j]
+		}
+	}
+	if err := s.BindMatrix("X", data); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.BindVectorAsColumn("y", y); err != nil {
+		log.Fatal(err)
+	}
+
+	script := `
+		# least squares via the normal equations
+		G    = t(X) %*% X
+		xty  = t(X) %*% y
+		beta = solve(G, xty)
+
+		# model diagnostics, all running as SQL underneath
+		yhat  = X %*% beta
+		resid = y - yhat
+		sse   = sum(resid * resid)
+		print(sse)
+	`
+	if err := s.Run(script); err != nil {
+		log.Fatal(err)
+	}
+
+	est, err := s.Matrix("beta")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("true beta     estimated")
+	for j := 0; j < d; j++ {
+		fmt.Printf("%+.6f     %+.6f\n", beta[j], est.At(j, 0))
+	}
+	sse, err := s.Scalar("sse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsum of squared residuals: %.3e\n", sse)
+	fmt.Println("printed by the script:", s.Printed())
+
+	// Show what one assignment compiles to.
+	text, err := db.Explain(`SELECT matrix_multiply(trans_matrix(d0.val), d1.val) AS val
+		FROM dml_x AS d0, dml_x AS d1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe SQL plan behind G = t(X) %*% X:")
+	fmt.Print(text)
+}

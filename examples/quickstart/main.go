@@ -1,0 +1,64 @@
+// Quickstart: the paper's extensions in five minutes — vector/matrix column
+// types, overloaded arithmetic, the conversion aggregates, and EXPLAIN.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relalg/internal/core"
+)
+
+func main() {
+	db := core.Open(core.DefaultConfig())
+
+	// 1. LABELED_SCALAR -> VECTOR -> MATRIX conversion pipeline (§3.3).
+	script := `
+		CREATE TABLE mat (row INTEGER, col INTEGER, value DOUBLE);
+		INSERT INTO mat VALUES
+			(0, 0, 1), (0, 1, 2),
+			(1, 0, 3), (1, 1, 4),
+			(2, 0, 5), (2, 1, 6);
+
+		-- One labeled vector per row...
+		CREATE VIEW vecs AS
+			SELECT VECTORIZE(label_scalar(value, col)) AS vec, row
+			FROM mat GROUP BY row;
+
+		-- ...aggregated into a single 3x2 matrix.
+		SELECT ROWMATRIX(label_vector(vec, row)) AS m FROM vecs;
+	`
+	results, err := db.RunScript(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Matrix assembled from normalized triples:")
+	fmt.Println(" ", results[0].Rows[0][0])
+
+	// 2. Overloaded arithmetic: Hadamard products and scalar broadcast (§3.2).
+	res, err := db.Query(`SELECT vec * vec AS squared, vec * 10 AS scaled FROM vecs ORDER BY row`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nElement-wise vector arithmetic:")
+	for _, row := range res.Rows {
+		fmt.Printf("  squared=%v scaled=%v\n", row[0], row[1])
+	}
+
+	// 3. Matrix functions with compile-time shape checking (§3.1/§4.2):
+	// the paper's example of a MATRIX[2][2] against a VECTOR[5] column is
+	// rejected by the type checker before any data is touched.
+	db.MustExec(`CREATE TABLE m (mat MATRIX[2][2], vec VECTOR[5])`)
+	if _, err := db.Explain(`SELECT matrix_vector_multiply(mat, vec) FROM m`); err != nil {
+		fmt.Println("\nShape mismatch rejected at compile time (no data loaded yet):")
+		fmt.Println(" ", err)
+	}
+
+	// 4. EXPLAIN shows the optimized relational plan.
+	text, err := db.Explain(`SELECT SUM(outer_product(vec, vec)) FROM vecs`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN SELECT SUM(outer_product(vec, vec)) FROM vecs:")
+	fmt.Print(text)
+}

@@ -1,0 +1,3 @@
+module relalg
+
+go 1.22

@@ -1,0 +1,392 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation: Figures 1-3 (Gram matrix, least-squares
+// regression, and distance computation across six platforms and three
+// dimensionalities), Figure 4 (the per-operator breakdown of tuple-based vs
+// vector-based Gram), and the §4.1 optimizer plan-choice demonstration plus
+// the ablations DESIGN.md calls out.
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"relalg/internal/cluster"
+	"relalg/internal/core"
+	"relalg/internal/exec"
+	"relalg/internal/linalg"
+	"relalg/internal/value"
+	"relalg/internal/workload"
+)
+
+// simsqlLayout selects how the engine stores the data points.
+type simsqlLayout int
+
+const (
+	layoutTuple simsqlLayout = iota
+	layoutVector
+	layoutBlock
+)
+
+func (l simsqlLayout) String() string {
+	switch l {
+	case layoutTuple:
+		return "Tuple SimSQL"
+	case layoutVector:
+		return "Vector SimSQL"
+	default:
+		return "Block SimSQL"
+	}
+}
+
+// simsql runs the paper's computations through the extended SQL engine in
+// one of the three storage layouts the evaluation compares.
+type simsql struct {
+	layout    simsqlLayout
+	nodes     int
+	perNode   int
+	blockRows int
+	budget    int64   // distance-only intermediate tuple budget (0 = unlimited)
+	bandwidth float64 // modelled network bytes/sec (0 = infinite)
+}
+
+func (s *simsql) Name() string { return s.layout.String() }
+
+func (s *simsql) open(budget int64) *core.Database {
+	cfg := core.DefaultConfig()
+	cfg.Cluster = cluster.Config{
+		Nodes:                 s.nodes,
+		PartitionsPerNode:     s.perNode,
+		SerializeShuffles:     true,
+		MaxIntermediateTuples: budget,
+		NetworkBytesPerSec:    s.bandwidth,
+	}
+	// Emulate the paper's 2017 SimSQL: no fused aggregation, so the vector
+	// layout materializes one outer product per data point (the cost that
+	// makes blocking pay off at 1000 dimensions). Ablation A4 measures what
+	// the modern fused path recovers.
+	cfg.DisableAggFusion = true
+	return core.Open(cfg)
+}
+
+// loadPoints loads the data in this variant's layout. Block layout loads
+// vectors too: the paper counts the blocking query as part of the
+// computation, so blocking happens in SQL at run time.
+func (s *simsql) loadPoints(db *core.Database, data [][]float64) error {
+	switch s.layout {
+	case layoutTuple:
+		db.MustExec("CREATE TABLE xt (row_index INTEGER, col_index INTEGER, value DOUBLE)")
+		return db.LoadTable("xt", workload.TupleRows(data))
+	default:
+		db.MustExec("CREATE TABLE xv (id INTEGER, value VECTOR[])")
+		if err := db.LoadTable("xv", workload.VectorRows(data)); err != nil {
+			return err
+		}
+		if s.layout == layoutBlock {
+			db.MustExec("CREATE TABLE block_index (mi INTEGER)")
+			nBlocks := (len(data) + s.blockRows - 1) / s.blockRows
+			if err := db.LoadTable("block_index", workload.BlockIndexRows(nBlocks)); err != nil {
+				return err
+			}
+			db.MustExec(fmt.Sprintf(`CREATE VIEW mlx AS
+				SELECT ind.mi AS mi, ROWMATRIX(label_vector(x.value, x.id - ind.mi*%d)) AS m
+				FROM xv AS x, block_index AS ind
+				WHERE x.id/%d = ind.mi
+				GROUP BY ind.mi`, s.blockRows, s.blockRows))
+		}
+		return nil
+	}
+}
+
+// Gram computes XᵀX through SQL and returns it as a dense matrix.
+func (s *simsql) Gram(data [][]float64) (*linalg.Matrix, error) {
+	db := s.open(0)
+	if err := s.loadPoints(db, data); err != nil {
+		return nil, err
+	}
+	d := len(data[0])
+	switch s.layout {
+	case layoutTuple:
+		res, err := db.Query(`SELECT x1.col_index, x2.col_index, SUM(x1.value * x2.value)
+			FROM xt AS x1, xt AS x2
+			WHERE x1.row_index = x2.row_index
+			GROUP BY x1.col_index, x2.col_index`)
+		if err != nil {
+			return nil, err
+		}
+		return tuplesToMatrix(res.Rows, d, d)
+	case layoutVector:
+		res, err := db.Query(`SELECT SUM(outer_product(x.value, x.value)) FROM xv AS x`)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows[0][0].Mat, nil
+	default:
+		res, err := db.Query(`SELECT SUM(matrix_multiply(trans_matrix(mlx.m), mlx.m)) FROM mlx`)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows[0][0].Mat, nil
+	}
+}
+
+// Regression computes the least-squares coefficients through SQL. The
+// tuple-based variant computes XᵀX and Xᵀy relationally and solves the tiny
+// d×d system at the client, as the original (pure-relational SimSQL) had to.
+func (s *simsql) Regression(data [][]float64, y []float64) (*linalg.Vector, error) {
+	db := s.open(0)
+	if err := s.loadPoints(db, data); err != nil {
+		return nil, err
+	}
+	db.MustExec("CREATE TABLE yt (i INTEGER, y_i DOUBLE)")
+	yRows := make([]value.Row, len(y))
+	for i, v := range y {
+		yRows[i] = value.Row{value.Int(int64(i)), value.Double(v)}
+	}
+	if err := db.LoadTable("yt", yRows); err != nil {
+		return nil, err
+	}
+	d := len(data[0])
+	switch s.layout {
+	case layoutTuple:
+		gres, err := db.Query(`SELECT x1.col_index, x2.col_index, SUM(x1.value * x2.value)
+			FROM xt AS x1, xt AS x2
+			WHERE x1.row_index = x2.row_index
+			GROUP BY x1.col_index, x2.col_index`)
+		if err != nil {
+			return nil, err
+		}
+		vres, err := db.Query(`SELECT x.col_index, SUM(x.value * yt.y_i)
+			FROM xt AS x, yt
+			WHERE x.row_index = yt.i
+			GROUP BY x.col_index`)
+		if err != nil {
+			return nil, err
+		}
+		G, err := tuplesToMatrix(gres.Rows, d, d)
+		if err != nil {
+			return nil, err
+		}
+		v := linalg.NewVector(d)
+		for _, r := range vres.Rows {
+			v.Data[r[0].I] = r[1].D
+		}
+		return G.Solve(v)
+	case layoutVector:
+		res, err := db.Query(`SELECT matrix_vector_multiply(
+				matrix_inverse(SUM(outer_product(x.value, x.value))),
+				SUM(x.value * yt.y_i))
+			FROM xv AS x, yt WHERE x.id = yt.i`)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows[0][0].Vec, nil
+	default:
+		db.MustExec(fmt.Sprintf(`CREATE VIEW yb AS
+			SELECT ind.mi AS mi, VECTORIZE(label_scalar(yt.y_i, yt.i - ind.mi*%d)) AS v
+			FROM yt, block_index AS ind
+			WHERE yt.i/%d = ind.mi
+			GROUP BY ind.mi`, s.blockRows, s.blockRows))
+		res, err := db.Query(`SELECT matrix_vector_multiply(
+				matrix_inverse(SUM(matrix_multiply(trans_matrix(mlx.m), mlx.m))),
+				SUM(matrix_vector_multiply(trans_matrix(mlx.m), yb.v)))
+			FROM mlx, yb WHERE mlx.mi = yb.mi`)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows[0][0].Vec, nil
+	}
+}
+
+// Distance computes the paper's metric-distance task through SQL: for every
+// point the minimum d²(xi, x') over x' ≠ xi, then the point maximizing that
+// minimum. The tuple-based formulation blows through the intermediate-tuple
+// budget, reproducing the paper's "Fail" row.
+func (s *simsql) Distance(data [][]float64, metric *linalg.Matrix) (int, float64, error) {
+	db := s.open(s.budget)
+	if err := s.loadPoints(db, data); err != nil {
+		return 0, 0, err
+	}
+	switch s.layout {
+	case layoutTuple:
+		return s.distanceTuple(db, metric)
+	case layoutVector:
+		return s.distanceVector(db, metric)
+	default:
+		return s.distanceBlock(db, metric, len(data))
+	}
+}
+
+func loadMetricTuples(db *core.Database, metric *linalg.Matrix) error {
+	db.MustExec("CREATE TABLE am (row_index INTEGER, col_index INTEGER, value DOUBLE)")
+	var rows []value.Row
+	for i := 0; i < metric.Rows; i++ {
+		for j := 0; j < metric.Cols; j++ {
+			rows = append(rows, value.Row{value.Int(int64(i)), value.Int(int64(j)), value.Double(metric.At(i, j))})
+		}
+	}
+	return db.LoadTable("am", rows)
+}
+
+func loadMetricMatrix(db *core.Database, metric *linalg.Matrix) error {
+	db.MustExec("CREATE TABLE am (val MATRIX[][])")
+	return db.LoadTable("am", []value.Row{{value.Matrix(metric)}})
+}
+
+func (s *simsql) distanceTuple(db *core.Database, metric *linalg.Matrix) (int, float64, error) {
+	if err := loadMetricTuples(db, metric); err != nil {
+		return 0, 0, err
+	}
+	// Each stage materializes (CREATE TABLE ... AS), as the Hadoop-backed
+	// SimSQL's MR stages did; the quadratic dist stage is where the
+	// intermediate-tuple budget trips.
+	// xa(i, l) = sum_k x_ik A_kl ; dist(i, j) = sum_l xa(i, l) x_jl.
+	if err := db.Exec(`CREATE TABLE xa AS
+		SELECT x.row_index AS i, a.col_index AS l, SUM(x.value * a.value) AS v
+		FROM xt AS x, am AS a
+		WHERE x.col_index = a.row_index
+		GROUP BY x.row_index, a.col_index`); err != nil {
+		return 0, 0, err
+	}
+	if err := db.Exec(`CREATE TABLE dist AS
+		SELECT xa.i AS i, x2.row_index AS j, SUM(xa.v * x2.value) AS d
+		FROM xa, xt AS x2
+		WHERE xa.l = x2.col_index
+		GROUP BY xa.i, x2.row_index`); err != nil {
+		return 0, 0, err
+	}
+	if err := db.Exec(`CREATE TABLE mins AS
+		SELECT i, MIN(d) AS dist FROM dist WHERE i <> j GROUP BY i`); err != nil {
+		return 0, 0, err
+	}
+	res, err := db.Query(`SELECT m.i, m.dist
+		FROM mins AS m, (SELECT MAX(dist) AS top FROM mins) AS mm
+		WHERE m.dist = mm.top`)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, 0, fmt.Errorf("bench: tuple distance returned no rows")
+	}
+	return int(res.Rows[0][0].I), res.Rows[0][1].D, nil
+}
+
+func (s *simsql) distanceVector(db *core.Database, metric *linalg.Matrix) (int, float64, error) {
+	if err := loadMetricMatrix(db, metric); err != nil {
+		return 0, 0, err
+	}
+	// The paper's MX table: mx_data = A · x, materialized once.
+	if err := db.Exec(`CREATE TABLE mx AS
+		SELECT x.id AS id, matrix_vector_multiply(a.val, x.value) AS mx_data
+		FROM xv AS x, am AS a`); err != nil {
+		return 0, 0, err
+	}
+	if err := db.Exec(`CREATE TABLE distancesm AS
+		SELECT a.id AS id, MIN(inner_product(mxx.mx_data, a.value)) AS dist
+		FROM xv AS a, mx AS mxx
+		WHERE a.id <> mxx.id
+		GROUP BY a.id`); err != nil {
+		return 0, 0, err
+	}
+	res, err := db.Query(`SELECT d.id, d.dist
+		FROM distancesm AS d, (SELECT MAX(dist) AS top FROM distancesm) AS mm
+		WHERE d.dist = mm.top`)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, 0, fmt.Errorf("bench: vector distance returned no rows")
+	}
+	return int(res.Rows[0][0].I), res.Rows[0][1].D, nil
+}
+
+func (s *simsql) distanceBlock(db *core.Database, metric *linalg.Matrix, n int) (int, float64, error) {
+	if err := loadMetricMatrix(db, metric); err != nil {
+		return 0, 0, err
+	}
+	if n%s.blockRows != 0 {
+		return 0, 0, fmt.Errorf("bench: block distance requires point count divisible by block size %d", s.blockRows)
+	}
+	b := s.blockRows
+	// A · Xbᵀ per block, materialized once (the blocked analogue of the
+	// vector variant's MX table), then paired with every row block to form
+	// the paper's DISTANCES relation of b×b tiles — each stage a
+	// materialized CREATE TABLE AS, like the Hadoop MR stages SimSQL ran.
+	steps := []string{
+		`CREATE TABLE axt AS
+			SELECT mx.mi AS mi, matrix_multiply(mp.val, trans_matrix(mx.m)) AS axm
+			FROM mlx AS mx, am AS mp`,
+		`CREATE TABLE distances AS
+			SELECT mxx.mi AS id1, ax.mi AS id2,
+				matrix_multiply(mxx.m, ax.axm) AS dm
+			FROM axt AS ax, mlx AS mxx`,
+		// Per-point minima: fold row minima across block pairs; diagonal
+		// tiles mask self-distance with an infinite diagonal.
+		`CREATE TABLE offmins AS
+			SELECT id1, MIN(row_mins(dm)) AS mins
+			FROM distances WHERE id1 <> id2 GROUP BY id1`,
+		fmt.Sprintf(`CREATE TABLE diagmins AS
+			SELECT id1, MIN(row_mins(dm + identity_matrix(%d) * 1e300)) AS mins
+			FROM distances WHERE id1 = id2 GROUP BY id1`, b),
+		`CREATE TABLE permins AS
+			SELECT o.id1 AS mi, min_pairwise(o.mins, g.mins) AS mins
+			FROM offmins AS o, diagmins AS g WHERE o.id1 = g.id1`,
+	}
+	for _, step := range steps {
+		if err := db.Exec(step); err != nil {
+			return 0, 0, err
+		}
+	}
+	res, err := db.Query(fmt.Sprintf(`SELECT p.mi * %d + arg_max(p.mins), max_vector(p.mins)
+		FROM permins AS p, (SELECT MAX(max_vector(mins)) AS top FROM permins) AS mm
+		WHERE max_vector(p.mins) = mm.top`, b))
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, 0, fmt.Errorf("bench: block distance returned no rows")
+	}
+	return int(res.Rows[0][0].I), res.Rows[0][1].D, nil
+}
+
+func tuplesToMatrix(rows []value.Row, r, c int) (*linalg.Matrix, error) {
+	m := linalg.NewMatrix(r, c)
+	for _, row := range rows {
+		i, err1 := row[0].AsInt()
+		j, err2 := row[1].AsInt()
+		v, err3 := row[2].AsDouble()
+		if err := errors.Join(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if i < 0 || int(i) >= r || j < 0 || int(j) >= c {
+			return nil, fmt.Errorf("bench: tuple (%d, %d) out of %dx%d", i, j, r, c)
+		}
+		m.Set(int(i), int(j), v)
+	}
+	return m, nil
+}
+
+// GramTimings runs Gram and returns the operator timing breakdown used by
+// Figure 4 (tuple vs vector join/aggregation split).
+func (s *simsql) GramTimings(data [][]float64) (*exec.Timings, error) {
+	db := s.open(0)
+	if err := s.loadPoints(db, data); err != nil {
+		return nil, err
+	}
+	var sql string
+	switch s.layout {
+	case layoutTuple:
+		sql = `SELECT x1.col_index, x2.col_index, SUM(x1.value * x2.value)
+			FROM xt AS x1, xt AS x2
+			WHERE x1.row_index = x2.row_index
+			GROUP BY x1.col_index, x2.col_index`
+	case layoutVector:
+		sql = `SELECT SUM(outer_product(x.value, x.value)) FROM xv AS x`
+	default:
+		sql = `SELECT SUM(matrix_multiply(trans_matrix(mlx.m), mlx.m)) FROM mlx`
+	}
+	res, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return res.Timings, nil
+}

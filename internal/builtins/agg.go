@@ -1,0 +1,486 @@
+package builtins
+
+import (
+	"fmt"
+
+	"relalg/internal/linalg"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+// AggState is the running state of one aggregate over one group. States are
+// mergeable so the executor can pre-aggregate per partition before the
+// shuffle and combine partial states afterwards — the property that makes
+// SUM over MATRIX blocks efficient in distributed plans.
+type AggState interface {
+	Step(v value.Value) error
+	Merge(other AggState) error
+	Final() (value.Value, error)
+}
+
+// AggSpec describes one aggregate function.
+type AggSpec struct {
+	Name string
+	// ResultType infers the output type from the input expression type.
+	ResultType func(in types.T) (types.T, error)
+	// New creates a fresh state for one group.
+	New func() AggState
+}
+
+var aggRegistry = map[string]*AggSpec{}
+
+// LookupAgg finds an aggregate by (lower-case) name.
+func LookupAgg(name string) (*AggSpec, bool) {
+	a, ok := aggRegistry[name]
+	return a, ok
+}
+
+// IsAggregate reports whether name refers to an aggregate function.
+func IsAggregate(name string) bool {
+	_, ok := aggRegistry[name]
+	return ok
+}
+
+func registerAgg(a *AggSpec) {
+	if _, dup := aggRegistry[a.Name]; dup {
+		panic("builtins: duplicate aggregate " + a.Name)
+	}
+	aggRegistry[a.Name] = a
+}
+
+// --- SUM --------------------------------------------------------------
+
+// sumState accumulates numerics as (int | double) and vectors/matrices
+// element-wise, matching the paper's "SUM aggregate over MATRIX performs a +
+// over each MATRIX in a relation".
+type sumState struct {
+	kind  value.Kind // KindNull until the first non-null input
+	i     int64
+	d     float64
+	vec   *linalg.Vector
+	mat   *linalg.Matrix
+	count int64
+}
+
+func (s *sumState) Step(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	s.count++
+	switch v.Kind {
+	case value.KindInt:
+		if s.kind == value.KindNull {
+			s.kind = value.KindInt
+		}
+		if s.kind == value.KindDouble {
+			s.d += float64(v.I)
+			return nil
+		}
+		if s.kind != value.KindInt {
+			return fmt.Errorf("builtins: SUM over mixed %s and INTEGER", s.kind)
+		}
+		s.i += v.I
+		return nil
+	case value.KindDouble, value.KindLabeledScalar:
+		switch s.kind {
+		case value.KindNull:
+			s.kind = value.KindDouble
+		case value.KindInt:
+			s.kind = value.KindDouble
+			s.d = float64(s.i)
+			s.i = 0
+		case value.KindDouble:
+		default:
+			return fmt.Errorf("builtins: SUM over mixed %s and DOUBLE", s.kind)
+		}
+		s.d += v.D
+		return nil
+	case value.KindVector:
+		if s.kind == value.KindNull {
+			s.kind = value.KindVector
+			s.vec = v.Vec.Clone()
+			return nil
+		}
+		if s.kind != value.KindVector {
+			return fmt.Errorf("builtins: SUM over mixed %s and VECTOR", s.kind)
+		}
+		return s.vec.AddInPlace(v.Vec)
+	case value.KindMatrix:
+		if s.kind == value.KindNull {
+			s.kind = value.KindMatrix
+			s.mat = v.Mat.Clone()
+			return nil
+		}
+		if s.kind != value.KindMatrix {
+			return fmt.Errorf("builtins: SUM over mixed %s and MATRIX", s.kind)
+		}
+		return s.mat.AddInPlace(v.Mat)
+	}
+	return fmt.Errorf("builtins: SUM over %s", v.Kind)
+}
+
+func (s *sumState) Merge(other AggState) error {
+	o := other.(*sumState)
+	if o.kind == value.KindNull {
+		return nil
+	}
+	partial, err := o.Final()
+	if err != nil {
+		return err
+	}
+	saved := s.count
+	if err := s.Step(partial); err != nil {
+		return err
+	}
+	s.count = saved + o.count
+	return nil
+}
+
+func (s *sumState) Final() (value.Value, error) {
+	switch s.kind {
+	case value.KindNull:
+		return value.Null(), nil // SQL: SUM of no rows is NULL
+	case value.KindInt:
+		return value.Int(s.i), nil
+	case value.KindDouble:
+		return value.Double(s.d), nil
+	case value.KindVector:
+		return value.Vector(s.vec), nil
+	case value.KindMatrix:
+		return value.Matrix(s.mat), nil
+	}
+	return value.Null(), fmt.Errorf("builtins: corrupt SUM state")
+}
+
+// --- COUNT ------------------------------------------------------------
+
+type countState struct{ n int64 }
+
+func (s *countState) Step(v value.Value) error {
+	if !v.IsNull() {
+		s.n++
+	}
+	return nil
+}
+func (s *countState) Merge(other AggState) error  { s.n += other.(*countState).n; return nil }
+func (s *countState) Final() (value.Value, error) { return value.Int(s.n), nil }
+
+// --- AVG --------------------------------------------------------------
+
+type avgState struct {
+	sum sumState
+}
+
+func (s *avgState) Step(v value.Value) error { return s.sum.Step(v) }
+func (s *avgState) Merge(other AggState) error {
+	return s.sum.Merge(&other.(*avgState).sum)
+}
+func (s *avgState) Final() (value.Value, error) {
+	if s.sum.count == 0 {
+		return value.Null(), nil
+	}
+	total, err := s.sum.Final()
+	if err != nil {
+		return value.Null(), err
+	}
+	n := float64(s.sum.count)
+	switch total.Kind {
+	case value.KindInt:
+		return value.Double(float64(total.I) / n), nil
+	case value.KindDouble:
+		return value.Double(total.D / n), nil
+	case value.KindVector:
+		return value.Vector(total.Vec.ScaleDiv(n)), nil
+	case value.KindMatrix:
+		return value.Matrix(total.Mat.ScaleDiv(n)), nil
+	}
+	return value.Null(), fmt.Errorf("builtins: AVG over %s", total.Kind)
+}
+
+// --- MIN / MAX ----------------------------------------------------------
+
+// extremeState keeps the extreme scalar seen, or — for VECTOR inputs — the
+// element-wise extreme, which is what the paper's block-based distance
+// computation needs to fold per-row minima across blocks.
+type extremeState struct {
+	want int // -1 for MIN, +1 for MAX
+	best value.Value
+	seen bool
+}
+
+func (s *extremeState) Step(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !s.seen {
+		if v.Kind == value.KindVector {
+			v = value.Vector(v.Vec.Clone())
+		}
+		s.best, s.seen = v, true
+		return nil
+	}
+	if v.Kind == value.KindVector || s.best.Kind == value.KindVector {
+		if v.Kind != s.best.Kind {
+			return fmt.Errorf("builtins: MIN/MAX over mixed %s and %s", s.best.Kind, v.Kind)
+		}
+		var (
+			merged *linalg.Vector
+			err    error
+		)
+		if s.want < 0 {
+			merged, err = s.best.Vec.MinPairwise(v.Vec)
+		} else {
+			merged, err = s.best.Vec.MaxPairwise(v.Vec)
+		}
+		if err != nil {
+			return err
+		}
+		s.best = value.Vector(merged)
+		return nil
+	}
+	c, err := v.Compare(s.best)
+	if err != nil {
+		return fmt.Errorf("builtins: MIN/MAX: %v", err)
+	}
+	if c == s.want {
+		s.best = v
+	}
+	return nil
+}
+
+func (s *extremeState) Merge(other AggState) error {
+	o := other.(*extremeState)
+	if !o.seen {
+		return nil
+	}
+	return s.Step(o.best)
+}
+
+func (s *extremeState) Final() (value.Value, error) {
+	if !s.seen {
+		return value.Null(), nil
+	}
+	return s.best, nil
+}
+
+// --- VECTORIZE ----------------------------------------------------------
+
+// vectorizeState aggregates LABELED_SCALAR values into a vector, placing
+// each at the position given by its label; holes are zero and the result has
+// max(label)+1 entries (§3.3).
+type vectorizeState struct {
+	entries  map[int64]float64
+	maxLabel int64
+}
+
+func newVectorize() AggState {
+	return &vectorizeState{entries: map[int64]float64{}, maxLabel: -1}
+}
+
+func (s *vectorizeState) Step(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if v.Kind != value.KindLabeledScalar {
+		return fmt.Errorf("builtins: VECTORIZE over %s, want LABELED_SCALAR", v.Kind)
+	}
+	if v.Label < 0 {
+		return fmt.Errorf("builtins: VECTORIZE with negative label %d", v.Label)
+	}
+	s.entries[v.Label] += v.D
+	if v.Label > s.maxLabel {
+		s.maxLabel = v.Label
+	}
+	return nil
+}
+
+func (s *vectorizeState) Merge(other AggState) error {
+	o := other.(*vectorizeState)
+	for l, d := range o.entries {
+		s.entries[l] += d
+	}
+	if o.maxLabel > s.maxLabel {
+		s.maxLabel = o.maxLabel
+	}
+	return nil
+}
+
+func (s *vectorizeState) Final() (value.Value, error) {
+	v := linalg.NewVector(int(s.maxLabel + 1))
+	for l, d := range s.entries {
+		v.Data[l] = d
+	}
+	return value.Vector(v), nil
+}
+
+// --- ROWMATRIX / COLMATRIX ----------------------------------------------
+
+// matrixizeState aggregates labeled VECTOR values into a matrix, placing
+// each vector at the row (ROWMATRIX) or column (COLMATRIX) given by its
+// label. All input vectors must share a length; holes are zero.
+type matrixizeState struct {
+	byCol    bool
+	rows     map[int64]*linalg.Vector
+	maxLabel int64
+	width    int
+}
+
+func newMatrixize(byCol bool) AggState {
+	return &matrixizeState{byCol: byCol, rows: map[int64]*linalg.Vector{}, maxLabel: -1, width: -1}
+}
+
+func (s *matrixizeState) name() string {
+	if s.byCol {
+		return "COLMATRIX"
+	}
+	return "ROWMATRIX"
+}
+
+func (s *matrixizeState) Step(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if v.Kind != value.KindVector {
+		return fmt.Errorf("builtins: %s over %s, want VECTOR", s.name(), v.Kind)
+	}
+	if v.Label < 0 {
+		return fmt.Errorf("builtins: %s with negative label %d (use label_vector)", s.name(), v.Label)
+	}
+	if s.width == -1 {
+		s.width = v.Vec.Len()
+	} else if s.width != v.Vec.Len() {
+		return fmt.Errorf("builtins: %s over vectors of length %d and %d", s.name(), s.width, v.Vec.Len())
+	}
+	if prev, ok := s.rows[v.Label]; ok {
+		if err := prev.AddInPlace(v.Vec); err != nil {
+			return err
+		}
+	} else {
+		s.rows[v.Label] = v.Vec.Clone()
+	}
+	if v.Label > s.maxLabel {
+		s.maxLabel = v.Label
+	}
+	return nil
+}
+
+func (s *matrixizeState) Merge(other AggState) error {
+	o := other.(*matrixizeState)
+	for l, vec := range o.rows {
+		if err := s.Step(value.LabeledVector(vec, l)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *matrixizeState) Final() (value.Value, error) {
+	n := int(s.maxLabel + 1)
+	w := s.width
+	if w < 0 {
+		w = 0
+	}
+	if s.byCol {
+		m := linalg.NewMatrix(w, n)
+		for l, vec := range s.rows {
+			for i, x := range vec.Data {
+				m.Set(i, int(l), x)
+			}
+		}
+		return value.Matrix(m), nil
+	}
+	m := linalg.NewMatrix(n, w)
+	for l, vec := range s.rows {
+		copy(m.Row(int(l)), vec.Data)
+	}
+	return value.Matrix(m), nil
+}
+
+func init() {
+	registerAgg(&AggSpec{
+		Name: "sum",
+		ResultType: func(in types.T) (types.T, error) {
+			switch {
+			case in.Base == types.Int:
+				return types.TInt, nil
+			case in.IsNumericScalar():
+				return types.TDouble, nil
+			case in.IsLinAlg():
+				return in, nil
+			}
+			return types.T{}, fmt.Errorf("%w: SUM over %s", types.ErrTypeMismatch, in)
+		},
+		New: func() AggState { return &sumState{} },
+	})
+	registerAgg(&AggSpec{
+		Name:       "count",
+		ResultType: func(types.T) (types.T, error) { return types.TInt, nil },
+		New:        func() AggState { return &countState{} },
+	})
+	registerAgg(&AggSpec{
+		Name: "avg",
+		ResultType: func(in types.T) (types.T, error) {
+			switch {
+			case in.IsNumericScalar():
+				return types.TDouble, nil
+			case in.IsLinAlg():
+				return in, nil
+			}
+			return types.T{}, fmt.Errorf("%w: AVG over %s", types.ErrTypeMismatch, in)
+		},
+		New: func() AggState { return &avgState{} },
+	})
+	minMaxType := func(in types.T) (types.T, error) {
+		switch {
+		case in.Base == types.Int:
+			return types.TInt, nil
+		case in.IsNumericScalar():
+			return types.TDouble, nil
+		case in.Base == types.String, in.Base == types.Bool:
+			return in, nil
+		case in.Base == types.Vector:
+			return in, nil // element-wise extreme
+		}
+		return types.T{}, fmt.Errorf("%w: MIN/MAX over %s", types.ErrTypeMismatch, in)
+	}
+	registerAgg(&AggSpec{
+		Name:       "min",
+		ResultType: minMaxType,
+		New:        func() AggState { return &extremeState{want: -1} },
+	})
+	registerAgg(&AggSpec{
+		Name:       "max",
+		ResultType: minMaxType,
+		New:        func() AggState { return &extremeState{want: 1} },
+	})
+	registerAgg(&AggSpec{
+		Name: "vectorize",
+		ResultType: func(in types.T) (types.T, error) {
+			if in.Base != types.LabeledScalar {
+				return types.T{}, fmt.Errorf("%w: VECTORIZE over %s, want LABELED_SCALAR", types.ErrTypeMismatch, in)
+			}
+			return types.TVector(types.UnknownDim), nil
+		},
+		New: newVectorize,
+	})
+	registerAgg(&AggSpec{
+		Name: "rowmatrix",
+		ResultType: func(in types.T) (types.T, error) {
+			if in.Base != types.Vector {
+				return types.T{}, fmt.Errorf("%w: ROWMATRIX over %s, want VECTOR", types.ErrTypeMismatch, in)
+			}
+			return types.TMatrix(types.UnknownDim, in.Dims[0]), nil
+		},
+		New: func() AggState { return newMatrixize(false) },
+	})
+	registerAgg(&AggSpec{
+		Name: "colmatrix",
+		ResultType: func(in types.T) (types.T, error) {
+			if in.Base != types.Vector {
+				return types.T{}, fmt.Errorf("%w: COLMATRIX over %s, want VECTOR", types.ErrTypeMismatch, in)
+			}
+			return types.TMatrix(in.Dims[0], types.UnknownDim), nil
+		},
+		New: func() AggState { return newMatrixize(true) },
+	})
+}

@@ -1,0 +1,215 @@
+// Package catalog holds the metadata the planner and optimizer consult:
+// table and view definitions, column types (including vector/matrix
+// dimensions), and basic statistics (row counts, per-column distinct-value
+// estimates). The statistics feed the cost model of internal/opt.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"relalg/internal/sqlparse"
+	"relalg/internal/types"
+)
+
+// Column is one column of a relation schema.
+type Column struct {
+	Name string
+	Type types.T
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// IndexOf returns the position of the named column, or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Cols) }
+
+func (s Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// TableMeta describes a stored table.
+type TableMeta struct {
+	Name   string
+	Schema Schema
+
+	// PartitionCol names the hash-partitioning column ("" = round-robin).
+	PartitionCol string
+
+	// Statistics. RowCount is exact for stored tables (maintained on
+	// insert/load); DistinctEst maps column name to an estimated number of
+	// distinct values (0 = unknown).
+	RowCount    int64
+	DistinctEst map[string]float64
+}
+
+// Distinct returns the distinct-value estimate for a column, defaulting to
+// RowCount when unknown (every value unique) and at least 1.
+func (m *TableMeta) Distinct(col string) float64 {
+	if d, ok := m.DistinctEst[col]; ok && d > 0 {
+		return d
+	}
+	if m.RowCount > 0 {
+		return float64(m.RowCount)
+	}
+	return 1
+}
+
+// ViewMeta describes a named view: its definition query and optional output
+// column renaming. Views are expanded inline by the planner.
+type ViewMeta struct {
+	Name  string
+	Cols  []string // optional; empty means the query's own output names
+	Query *sqlparse.Select
+}
+
+// Catalog is the thread-safe registry of tables and views.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*TableMeta
+	views  map[string]*ViewMeta
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: map[string]*TableMeta{},
+		views:  map[string]*ViewMeta{},
+	}
+}
+
+// CreateTable registers a table. The name must be unused by tables and views.
+func (c *Catalog) CreateTable(meta *TableMeta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := strings.ToLower(meta.Name)
+	if _, ok := c.tables[name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if _, ok := c.views[name]; ok {
+		return fmt.Errorf("catalog: view %q already exists", name)
+	}
+	if meta.DistinctEst == nil {
+		meta.DistinctEst = map[string]float64{}
+	}
+	meta.Name = name
+	c.tables[name] = meta
+	return nil
+}
+
+// CreateView registers a view under the same namespace as tables.
+func (c *Catalog) CreateView(v *ViewMeta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := strings.ToLower(v.Name)
+	if _, ok := c.tables[name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if _, ok := c.views[name]; ok {
+		return fmt.Errorf("catalog: view %q already exists", name)
+	}
+	v.Name = name
+	c.views[name] = v
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*TableMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// View looks up a view by name.
+func (c *Catalog) View(name string) (*ViewMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// Drop removes a table or view; it reports whether anything was removed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = strings.ToLower(name)
+	if _, ok := c.tables[name]; ok {
+		delete(c.tables, name)
+		return true
+	}
+	if _, ok := c.views[name]; ok {
+		delete(c.views, name)
+		return true
+	}
+	return false
+}
+
+// SetRowCount updates a table's cardinality statistic.
+func (c *Catalog) SetRowCount(name string, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[strings.ToLower(name)]; ok {
+		t.RowCount = n
+	}
+}
+
+// AddRowCount adjusts a table's cardinality statistic by delta.
+func (c *Catalog) AddRowCount(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[strings.ToLower(name)]; ok {
+		t.RowCount += delta
+	}
+}
+
+// SetDistinct records a distinct-value estimate for a column.
+func (c *Catalog) SetDistinct(table, col string, n float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[strings.ToLower(table)]; ok {
+		t.DistinctEst[strings.ToLower(col)] = n
+	}
+}
+
+// TableNames returns the sorted table names (tests and tooling).
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns the sorted view names.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.views))
+	for n := range c.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

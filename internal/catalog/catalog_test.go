@@ -1,0 +1,117 @@
+package catalog
+
+import (
+	"testing"
+
+	"relalg/internal/sqlparse"
+	"relalg/internal/types"
+)
+
+func meta(name string, cols ...Column) *TableMeta {
+	return &TableMeta{Name: name, Schema: Schema{Cols: cols}}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := Schema{Cols: []Column{{Name: "a", Type: types.TInt}, {Name: "b", Type: types.TDouble}}}
+	if s.Arity() != 2 {
+		t.Fatalf("arity %d", s.Arity())
+	}
+	if s.IndexOf("b") != 1 || s.IndexOf("zzz") != -1 {
+		t.Fatal("IndexOf broken")
+	}
+	if s.String() != "(a INTEGER, b DOUBLE)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestCreateLookupDrop(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(meta("T1", Column{Name: "a", Type: types.TInt})); err != nil {
+		t.Fatal(err)
+	}
+	// Lookup is case-insensitive; names normalize to lower case.
+	if m, ok := c.Table("t1"); !ok || m.Name != "t1" {
+		t.Fatalf("lookup: %v %v", m, ok)
+	}
+	if _, ok := c.Table("T1"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if err := c.CreateTable(meta("t1")); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if !c.Drop("t1") {
+		t.Fatal("drop failed")
+	}
+	if c.Drop("t1") {
+		t.Fatal("double drop succeeded")
+	}
+	if _, ok := c.Table("t1"); ok {
+		t.Fatal("dropped table still visible")
+	}
+}
+
+func TestViewNamespaceShared(t *testing.T) {
+	c := New()
+	q := &sqlparse.Select{}
+	if err := c.CreateView(&ViewMeta{Name: "v", Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(meta("v")); err == nil {
+		t.Fatal("table with view's name accepted")
+	}
+	if err := c.CreateView(&ViewMeta{Name: "v", Query: q}); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	if err := c.CreateTable(meta("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView(&ViewMeta{Name: "t", Query: q}); err == nil {
+		t.Fatal("view with table's name accepted")
+	}
+	if v, ok := c.View("V"); !ok || v.Name != "v" {
+		t.Fatal("view lookup failed")
+	}
+	if !c.Drop("v") {
+		t.Fatal("view drop failed")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(meta("t", Column{Name: "a", Type: types.TInt})); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRowCount("t", 100)
+	c.AddRowCount("t", 50)
+	m, _ := c.Table("t")
+	if m.RowCount != 150 {
+		t.Fatalf("rowcount %d", m.RowCount)
+	}
+	// Distinct defaults to row count, floor 1.
+	if d := m.Distinct("a"); d != 150 {
+		t.Fatalf("default distinct %g", d)
+	}
+	c.SetDistinct("t", "a", 10)
+	if d := m.Distinct("a"); d != 10 {
+		t.Fatalf("distinct %g", d)
+	}
+	empty := meta("e")
+	if d := empty.Distinct("x"); d != 1 {
+		t.Fatalf("empty distinct %g", d)
+	}
+}
+
+func TestNameLists(t *testing.T) {
+	c := New()
+	_ = c.CreateTable(meta("b"))
+	_ = c.CreateTable(meta("a"))
+	_ = c.CreateView(&ViewMeta{Name: "z", Query: &sqlparse.Select{}})
+	tn := c.TableNames()
+	if len(tn) != 2 || tn[0] != "a" || tn[1] != "b" {
+		t.Fatalf("tables %v", tn)
+	}
+	vn := c.ViewNames()
+	if len(vn) != 1 || vn[0] != "z" {
+		t.Fatalf("views %v", vn)
+	}
+}

@@ -1,0 +1,371 @@
+// Package cluster simulates the shared-nothing cluster that the engine and
+// all comparison baselines execute on. A cluster is N logical nodes × P
+// partition slots; partitioned data is [][]value.Row with one slice per
+// partition. Work runs partition-parallel on goroutines; rows that cross
+// partitions during a shuffle are (by default) serialized and deserialized
+// through the binary row codec so benchmarks pay a realistic network/ser-de
+// cost, and every movement is counted in Stats.
+//
+// The cluster also enforces an intermediate-tuple budget, the mechanism that
+// makes the paper's "Fail" entries reproducible: a plan that tries to
+// materialize a quadratic tuple blow-up exceeds the budget and aborts.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relalg/internal/value"
+)
+
+// ErrResourceExhausted is returned when a plan exceeds the configured
+// intermediate tuple budget (the simulated analogue of running a cluster out
+// of memory/disk).
+var ErrResourceExhausted = errors.New("cluster: intermediate tuple budget exhausted")
+
+// Config sizes the simulated cluster.
+type Config struct {
+	// Nodes is the number of simulated machines (the paper used 10).
+	Nodes int
+	// PartitionsPerNode is the number of parallel slots per machine (the
+	// paper's workers had 8 cores).
+	PartitionsPerNode int
+	// SerializeShuffles encodes/decodes rows through the binary codec on
+	// every cross-partition move, charging the ser-de cost that dominates
+	// distributed aggregation (Figure 4). Disable for the A3 ablation.
+	SerializeShuffles bool
+	// MaxIntermediateTuples aborts plans that materialize more than this
+	// many tuples (0 = unlimited).
+	MaxIntermediateTuples int64
+	// NetworkBytesPerSec models per-link network bandwidth: every
+	// destination of a shuffle or broadcast waits bytes/bandwidth before
+	// its data is available (0 = infinite, no waiting). The paper's
+	// Hadoop-era cluster was shuffle-bound; this knob recreates that regime
+	// on in-memory hardware.
+	NetworkBytesPerSec float64
+}
+
+// DefaultConfig mirrors the paper's 10-node, 8-core setup at simulation
+// scale: 10 nodes × 2 partitions = 20-way parallelism.
+func DefaultConfig() Config {
+	return Config{Nodes: 10, PartitionsPerNode: 2, SerializeShuffles: true}
+}
+
+// Partitions returns the total number of partition slots.
+func (c Config) Partitions() int {
+	p := c.Nodes * c.PartitionsPerNode
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// Stats aggregates movement and volume counters across a run. All fields are
+// updated atomically and safe to read concurrently.
+type Stats struct {
+	TuplesShuffled  atomic.Int64 // rows that crossed a partition boundary
+	BytesShuffled   atomic.Int64 // encoded bytes of those rows
+	TuplesProduced  atomic.Int64 // rows materialized by operators
+	ShuffleRounds   atomic.Int64 // number of exchange operations
+	BroadcastRounds atomic.Int64
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		TuplesShuffled:  s.TuplesShuffled.Load(),
+		BytesShuffled:   s.BytesShuffled.Load(),
+		TuplesProduced:  s.TuplesProduced.Load(),
+		ShuffleRounds:   s.ShuffleRounds.Load(),
+		BroadcastRounds: s.BroadcastRounds.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	TuplesShuffled  int64
+	BytesShuffled   int64
+	TuplesProduced  int64
+	ShuffleRounds   int64
+	BroadcastRounds int64
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("shuffled %d tuples (%d bytes) in %d rounds, %d broadcasts, produced %d tuples",
+		s.TuplesShuffled, s.BytesShuffled, s.ShuffleRounds, s.BroadcastRounds, s.TuplesProduced)
+}
+
+// Cluster is one simulated cluster instance.
+type Cluster struct {
+	cfg   Config
+	stats Stats
+	used  atomic.Int64 // intermediate tuples charged so far
+}
+
+// New creates a cluster from the config.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.PartitionsPerNode <= 0 {
+		cfg.PartitionsPerNode = 1
+	}
+	return &Cluster{cfg: cfg}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Partitions returns the number of partition slots.
+func (c *Cluster) Partitions() int { return c.cfg.Partitions() }
+
+// Stats exposes the movement counters.
+func (c *Cluster) Stats() *Stats { return &c.stats }
+
+// ResetBudget clears the intermediate-tuple accounting (call between
+// queries).
+func (c *Cluster) ResetBudget() { c.used.Store(0) }
+
+// ChargeTuples records that n intermediate tuples were materialized; it
+// fails once the configured budget is exhausted.
+func (c *Cluster) ChargeTuples(n int64) error {
+	c.stats.TuplesProduced.Add(n)
+	used := c.used.Add(n)
+	if c.cfg.MaxIntermediateTuples > 0 && used > c.cfg.MaxIntermediateTuples {
+		return fmt.Errorf("%w: %d tuples exceeds budget %d", ErrResourceExhausted, used, c.cfg.MaxIntermediateTuples)
+	}
+	return nil
+}
+
+// Parallel runs fn once per partition slot concurrently and returns the
+// first error.
+func (c *Cluster) Parallel(fn func(part int) error) error {
+	p := c.Partitions()
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ScatterRoundRobin distributes rows across partitions round-robin (how
+// tables are laid out on load).
+func (c *Cluster) ScatterRoundRobin(rows []value.Row) [][]value.Row {
+	p := c.Partitions()
+	parts := make([][]value.Row, p)
+	for i, r := range rows {
+		parts[i%p] = append(parts[i%p], r)
+	}
+	return parts
+}
+
+// ScatterHash distributes rows across partitions by the hash of the key
+// columns.
+func (c *Cluster) ScatterHash(rows []value.Row, keyCols []int) [][]value.Row {
+	p := c.Partitions()
+	parts := make([][]value.Row, p)
+	for _, r := range rows {
+		d := int(value.HashRowKey(r, keyCols) % uint64(p))
+		parts[d] = append(parts[d], r)
+	}
+	return parts
+}
+
+// Gather concatenates all partitions into a single slice (used by ORDER
+// BY/LIMIT and by callers collecting final results).
+func (c *Cluster) Gather(parts [][]value.Row) []value.Row {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]value.Row, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Shuffle hash-repartitions rows on the given key columns. Each source
+// partition buckets its rows in parallel; rows that land on a different
+// partition than they started on are charged as network traffic and, when
+// SerializeShuffles is set, are round-tripped through the binary codec.
+func (c *Cluster) Shuffle(parts [][]value.Row, keyCols []int) ([][]value.Row, error) {
+	p := c.Partitions()
+	c.stats.ShuffleRounds.Add(1)
+	// buckets[src][dst]
+	buckets := make([][][]value.Row, len(parts))
+	err := c.parallelOver(len(parts), func(src int) error {
+		local := make([][]value.Row, p)
+		for _, r := range parts[src] {
+			d := int(value.HashRowKey(r, keyCols) % uint64(p))
+			local[d] = append(local[d], r)
+		}
+		buckets[src] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(buckets)
+}
+
+// ShuffleBy repartitions rows using an arbitrary destination function.
+func (c *Cluster) ShuffleBy(parts [][]value.Row, dest func(value.Row) int) ([][]value.Row, error) {
+	p := c.Partitions()
+	c.stats.ShuffleRounds.Add(1)
+	buckets := make([][][]value.Row, len(parts))
+	err := c.parallelOver(len(parts), func(src int) error {
+		local := make([][]value.Row, p)
+		for _, r := range parts[src] {
+			d := dest(r) % p
+			if d < 0 {
+				d += p
+			}
+			local[d] = append(local[d], r)
+		}
+		buckets[src] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(buckets)
+}
+
+// deliver moves bucketed rows to their destinations, charging and optionally
+// serializing everything that crosses a partition boundary.
+func (c *Cluster) deliver(buckets [][][]value.Row) ([][]value.Row, error) {
+	p := c.Partitions()
+	out := make([][]value.Row, p)
+	var moveErr error
+	var mu sync.Mutex
+	err := c.parallelOver(p, func(dst int) error {
+		var rows []value.Row
+		var wireBytes int64
+		for src := range buckets {
+			chunk := buckets[src][dst]
+			if len(chunk) == 0 {
+				continue
+			}
+			if src != dst {
+				c.stats.TuplesShuffled.Add(int64(len(chunk)))
+				if c.cfg.SerializeShuffles {
+					buf := value.EncodeRows(chunk)
+					c.stats.BytesShuffled.Add(int64(len(buf)))
+					wireBytes += int64(len(buf))
+					decoded, err := value.DecodeRows(buf)
+					if err != nil {
+						mu.Lock()
+						moveErr = err
+						mu.Unlock()
+						return err
+					}
+					chunk = decoded
+				} else {
+					var n int64
+					for _, r := range chunk {
+						n += int64(r.SizeBytes())
+					}
+					c.stats.BytesShuffled.Add(n)
+					wireBytes += n
+				}
+			}
+			rows = append(rows, chunk...)
+		}
+		c.networkWait(wireBytes)
+		out[dst] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if moveErr != nil {
+		return nil, moveErr
+	}
+	return out, nil
+}
+
+// Broadcast replicates every row to every partition (used for the small side
+// of a cross join). The copies are charged as network traffic.
+func (c *Cluster) Broadcast(parts [][]value.Row) ([][]value.Row, error) {
+	p := c.Partitions()
+	c.stats.BroadcastRounds.Add(1)
+	all := c.Gather(parts)
+	var buf []byte
+	if c.cfg.SerializeShuffles {
+		buf = value.EncodeRows(all)
+	}
+	out := make([][]value.Row, p)
+	err := c.parallelOver(p, func(dst int) error {
+		// p-1 remote copies; the local partition keeps its rows in place.
+		c.stats.TuplesShuffled.Add(int64(len(all)))
+		if c.cfg.SerializeShuffles {
+			c.stats.BytesShuffled.Add(int64(len(buf)))
+			c.networkWait(int64(len(buf)))
+			rows, err := value.DecodeRows(buf)
+			if err != nil {
+				return err
+			}
+			out[dst] = rows
+			return nil
+		}
+		var n int64
+		for _, r := range all {
+			n += int64(r.SizeBytes())
+		}
+		c.stats.BytesShuffled.Add(n)
+		c.networkWait(n)
+		cp := make([]value.Row, len(all))
+		copy(cp, all)
+		out[dst] = cp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// networkWait models the transfer delay of wireBytes arriving at one
+// destination over its network link.
+func (c *Cluster) networkWait(wireBytes int64) {
+	if c.cfg.NetworkBytesPerSec <= 0 || wireBytes <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(wireBytes) / c.cfg.NetworkBytesPerSec * float64(time.Second)))
+}
+
+// NetworkWait exposes the transfer-delay model for components (baselines,
+// aggregate state movement) that move bytes outside Shuffle/Broadcast.
+func (c *Cluster) NetworkWait(wireBytes int64) { c.networkWait(wireBytes) }
+
+// parallelOver runs fn for i in [0,n) concurrently, bounded by the number of
+// partition slots.
+func (c *Cluster) parallelOver(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, c.Partitions())
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

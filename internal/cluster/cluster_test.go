@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"relalg/internal/value"
+)
+
+func testCluster(nodes, perNode int, serialize bool) *Cluster {
+	return New(Config{Nodes: nodes, PartitionsPerNode: perNode, SerializeShuffles: serialize})
+}
+
+func intRows(n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.Int(int64(i)), value.Int(int64(i % 7))}
+	}
+	return rows
+}
+
+func sortedInts(rows []value.Row) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].I
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestConfigPartitions(t *testing.T) {
+	if got := (Config{Nodes: 10, PartitionsPerNode: 2}).Partitions(); got != 20 {
+		t.Fatalf("partitions = %d", got)
+	}
+	if got := (Config{}).Partitions(); got != 1 {
+		t.Fatalf("degenerate partitions = %d", got)
+	}
+	if New(Config{}).Partitions() != 1 {
+		t.Fatal("New should normalize zero config")
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	c := testCluster(3, 2, true)
+	rows := intRows(100)
+	parts := c.ScatterRoundRobin(rows)
+	if len(parts) != 6 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	back := c.Gather(parts)
+	if len(back) != 100 {
+		t.Fatalf("gathered %d rows", len(back))
+	}
+	got := sortedInts(back)
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d missing (got %d)", i, v)
+		}
+	}
+}
+
+func TestScatterHashCoLocates(t *testing.T) {
+	c := testCluster(4, 1, false)
+	parts := c.ScatterHash(intRows(200), []int{1})
+	// All rows with the same key column must be in the same partition.
+	keyPart := map[int64]int{}
+	for p, rows := range parts {
+		for _, r := range rows {
+			k := r[1].I
+			if prev, ok := keyPart[k]; ok && prev != p {
+				t.Fatalf("key %d split across partitions %d and %d", k, prev, p)
+			}
+			keyPart[k] = p
+		}
+	}
+}
+
+func TestShufflePreservesRowsAndCoLocates(t *testing.T) {
+	for _, serialize := range []bool{true, false} {
+		c := testCluster(3, 2, serialize)
+		rows := intRows(150)
+		parts := c.ScatterRoundRobin(rows)
+		shuffled, err := c.Shuffle(parts, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := c.Gather(shuffled)
+		if len(back) != 150 {
+			t.Fatalf("serialize=%v: shuffle lost rows: %d", serialize, len(back))
+		}
+		keyPart := map[int64]int{}
+		for p, prows := range shuffled {
+			for _, r := range prows {
+				k := r[1].I
+				if prev, ok := keyPart[k]; ok && prev != p {
+					t.Fatalf("key %d split", k)
+				}
+				keyPart[k] = p
+			}
+		}
+		if c.Stats().Snapshot().ShuffleRounds != 1 {
+			t.Fatal("shuffle round not counted")
+		}
+		if c.Stats().Snapshot().TuplesShuffled == 0 {
+			t.Fatal("no tuples counted as shuffled")
+		}
+		if serialize && c.Stats().Snapshot().BytesShuffled == 0 {
+			t.Fatal("no bytes charged with serialization on")
+		}
+	}
+}
+
+func TestShuffleByCustomDest(t *testing.T) {
+	c := testCluster(2, 2, false)
+	parts := c.ScatterRoundRobin(intRows(40))
+	out, err := c.ShuffleBy(parts, func(r value.Row) int { return int(r[0].I) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, rows := range out {
+		for _, r := range rows {
+			if int(r[0].I)%4 != p {
+				t.Fatalf("row %d landed on partition %d", r[0].I, p)
+			}
+		}
+	}
+	// Negative destinations wrap.
+	out, err = c.ShuffleBy(parts, func(r value.Row) int { return -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gather(out)) != 40 {
+		t.Fatal("negative destination lost rows")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, serialize := range []bool{true, false} {
+		c := testCluster(2, 2, serialize)
+		parts := c.ScatterRoundRobin(intRows(10))
+		bc, err := c.Broadcast(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, rows := range bc {
+			if len(rows) != 10 {
+				t.Fatalf("partition %d has %d rows, want all 10", p, len(rows))
+			}
+		}
+		if c.Stats().Snapshot().BroadcastRounds != 1 {
+			t.Fatal("broadcast round not counted")
+		}
+	}
+}
+
+func TestTupleBudget(t *testing.T) {
+	c := New(Config{Nodes: 1, PartitionsPerNode: 1, MaxIntermediateTuples: 100})
+	if err := c.ChargeTuples(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ChargeTuples(50); err != nil {
+		t.Fatal(err)
+	}
+	err := c.ChargeTuples(1)
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("error = %v, want ErrResourceExhausted", err)
+	}
+	c.ResetBudget()
+	if err := c.ChargeTuples(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRunsAllPartitions(t *testing.T) {
+	c := testCluster(3, 3, false)
+	seen := make([]bool, c.Partitions())
+	err := c.Parallel(func(p int) error {
+		seen[p] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range seen {
+		if !s {
+			t.Fatalf("partition %d not visited", p)
+		}
+	}
+	wantErr := errors.New("boom")
+	err = c.Parallel(func(p int) error {
+		if p == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestPropShuffleIsPermutation(t *testing.T) {
+	f := func(seed int64, nodes, rowsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := testCluster(int(nodes%5)+1, int(nodes%3)+1, seed%2 == 0)
+		n := int(rowsRaw)
+		rows := make([]value.Row, n)
+		for i := range rows {
+			rows[i] = value.Row{value.Int(int64(i)), value.Int(int64(r.Intn(10)))}
+		}
+		parts := c.ScatterRoundRobin(rows)
+		out, err := c.Shuffle(parts, []int{1})
+		if err != nil {
+			return false
+		}
+		back := sortedInts(c.Gather(out))
+		if len(back) != n {
+			return false
+		}
+		for i, v := range back {
+			if v != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkWaitModelsBandwidth(t *testing.T) {
+	slow := New(Config{Nodes: 1, PartitionsPerNode: 1, NetworkBytesPerSec: 1e6})
+	start := time.Now()
+	slow.NetworkWait(100_000) // 0.1s at 1 MB/s
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Fatalf("wait too short: %v", took)
+	}
+	// Infinite bandwidth and zero bytes never wait.
+	fast := New(Config{Nodes: 1, PartitionsPerNode: 1})
+	start = time.Now()
+	fast.NetworkWait(1 << 30)
+	slow.NetworkWait(0)
+	if took := time.Since(start); took > 20*time.Millisecond {
+		t.Fatalf("unexpected wait: %v", took)
+	}
+}
+
+func TestShuffleChargesBandwidth(t *testing.T) {
+	c := New(Config{Nodes: 2, PartitionsPerNode: 1, SerializeShuffles: true, NetworkBytesPerSec: 2e6})
+	rows := make([]value.Row, 200)
+	for i := range rows {
+		rows[i] = value.Row{value.Int(int64(i)), value.String_("padding-padding-padding")}
+	}
+	parts := c.ScatterRoundRobin(rows)
+	start := time.Now()
+	if _, err := c.Shuffle(parts, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	bytes := c.Stats().Snapshot().BytesShuffled
+	if bytes == 0 {
+		t.Fatal("no bytes shuffled")
+	}
+	// The wait should be roughly bytes / bandwidth (loose lower bound: half).
+	minWait := time.Duration(float64(bytes) / 2e6 / 2 * float64(time.Second))
+	if took := time.Since(start); took < minWait/2 {
+		t.Fatalf("shuffle took %v, want at least ~%v for %d bytes", took, minWait, bytes)
+	}
+}

@@ -1,0 +1,532 @@
+// Package core is the engine's public face: a parallel relational database
+// extended with the paper's LABELED_SCALAR, VECTOR and MATRIX column types,
+// the linear-algebra built-ins and conversion aggregates, and a cost-based
+// optimizer that understands linear-algebra object sizes. It ties together
+// the catalog, planner, optimizer, executor, and cluster simulator.
+//
+// Typical use:
+//
+//	db := core.Open(core.DefaultConfig())
+//	db.MustExec(`CREATE TABLE x (id INTEGER, val VECTOR[])`)
+//	db.LoadTable("x", rows)
+//	res, err := db.Query(`SELECT SUM(outer_product(val, val)) FROM x`)
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"relalg/internal/catalog"
+	"relalg/internal/cluster"
+	"relalg/internal/exec"
+	"relalg/internal/linalg"
+	"relalg/internal/opt"
+	"relalg/internal/plan"
+	"relalg/internal/sqlparse"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+// Config assembles the engine's tunables.
+type Config struct {
+	Cluster   cluster.Config
+	Optimizer opt.Options
+	// DisableAggFusion reverts SUM(outer_product)/SUM(matrix_multiply) to
+	// unfused per-row evaluation (2017-SimSQL behaviour); see exec.Context.
+	DisableAggFusion bool
+}
+
+// DefaultConfig simulates the paper's 10-node cluster with the full
+// optimizer enabled.
+func DefaultConfig() Config {
+	return Config{
+		Cluster:   cluster.DefaultConfig(),
+		Optimizer: opt.DefaultOptions(),
+	}
+}
+
+// Database is one engine instance. It is safe for concurrent reads; DDL and
+// loads take an exclusive lock.
+type Database struct {
+	cfg Config
+	cat *catalog.Catalog
+	cl  *cluster.Cluster
+
+	mu     sync.RWMutex
+	tables map[string][][]value.Row
+	nextRR map[string]int // round-robin insert cursor per table
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *Database {
+	return &Database{
+		cfg:    cfg,
+		cat:    catalog.New(),
+		cl:     cluster.New(cfg.Cluster),
+		tables: map[string][][]value.Row{},
+		nextRR: map[string]int{},
+	}
+}
+
+// Catalog exposes the metadata registry.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Cluster exposes the simulated cluster (stats, budget).
+func (db *Database) Cluster() *cluster.Cluster { return db.cl }
+
+// Result is the outcome of one SELECT (or EXPLAIN).
+type Result struct {
+	Schema  plan.Schema
+	Rows    []value.Row
+	Timings *exec.Timings
+	Stats   cluster.StatsSnapshot
+}
+
+// Run parses and executes a single SQL statement. DDL and INSERT return a
+// nil Result.
+func (db *Database) Run(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.runStmt(stmt)
+}
+
+// RunScript executes a semicolon-separated script, returning the results of
+// every SELECT/EXPLAIN in order.
+func (db *Database) RunScript(sql string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, stmt := range stmts {
+		res, err := db.runStmt(stmt)
+		if err != nil {
+			return out, err
+		}
+		if res != nil {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Exec runs a statement for its side effects, failing if it returns rows.
+func (db *Database) Exec(sql string) error {
+	_, err := db.Run(sql)
+	return err
+}
+
+// MustExec is Exec for setup code paths; it panics on error.
+func (db *Database) MustExec(sql string) {
+	if err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}
+
+// Query runs a single SELECT.
+func (db *Database) Query(sql string) (*Result, error) {
+	res, err := db.Run(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("core: statement produced no result set")
+	}
+	return res, nil
+}
+
+func (db *Database) runStmt(stmt sqlparse.Statement) (*Result, error) {
+	switch x := stmt.(type) {
+	case *sqlparse.CreateTable:
+		return nil, db.createTable(x)
+	case *sqlparse.CreateTableAs:
+		return nil, db.createTableAs(x)
+	case *sqlparse.CreateView:
+		return nil, db.createView(x)
+	case *sqlparse.Insert:
+		return nil, db.insert(x)
+	case *sqlparse.DropTable:
+		return nil, db.drop(x)
+	case *sqlparse.Select:
+		return db.query(x)
+	case *sqlparse.Explain:
+		sel, ok := x.Stmt.(*sqlparse.Select)
+		if !ok {
+			return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
+		}
+		text, err := db.explain(sel)
+		if err != nil {
+			return nil, err
+		}
+		if x.Analyze {
+			res, err := db.query(sel)
+			if err != nil {
+				return nil, err
+			}
+			text += fmt.Sprintf("-- executed: %d rows; %s\n", len(res.Rows), res.Stats)
+			for _, label := range res.Timings.Labels() {
+				text += fmt.Sprintf("--   %-18s %v\n", label, res.Timings.Get(label))
+			}
+		}
+		var rows []value.Row
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			rows = append(rows, value.Row{value.String_(line)})
+		}
+		return &Result{
+			Schema: plan.Schema{{Name: "plan", T: types.TString}},
+			Rows:   rows,
+		}, nil
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+func (db *Database) createTable(ct *sqlparse.CreateTable) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cols := make([]catalog.Column, len(ct.Cols))
+	seen := map[string]bool{}
+	for i, c := range ct.Cols {
+		if seen[c.Name] {
+			return fmt.Errorf("core: duplicate column %q in table %q", c.Name, ct.Name)
+		}
+		seen[c.Name] = true
+		cols[i] = catalog.Column{Name: c.Name, Type: c.Type}
+	}
+	meta := &catalog.TableMeta{Name: ct.Name, Schema: catalog.Schema{Cols: cols}, PartitionCol: ct.PartitionCol}
+	if err := db.cat.CreateTable(meta); err != nil {
+		return err
+	}
+	db.tables[meta.Name] = make([][]value.Row, db.cl.Partitions())
+	return nil
+}
+
+// createTableAs materializes a query result as a new table (CREATE TABLE
+// ... AS SELECT), inferring the schema from the query's output types.
+func (db *Database) createTableAs(ct *sqlparse.CreateTableAs) error {
+	res, err := db.query(ct.Query)
+	if err != nil {
+		return err
+	}
+	cols := make([]catalog.Column, len(res.Schema))
+	seen := map[string]int{}
+	for i, f := range res.Schema {
+		t := f.T
+		if t.Base == types.Any || t.Base == types.Invalid {
+			return fmt.Errorf("core: column %q of CREATE TABLE AS has no concrete type", f.Name)
+		}
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("col%d", i)
+		}
+		if n := seen[name]; n > 0 {
+			name = fmt.Sprintf("%s_%d", name, n)
+		}
+		seen[f.Name]++
+		cols[i] = catalog.Column{Name: name, Type: t}
+	}
+	meta := &catalog.TableMeta{Name: ct.Name, Schema: catalog.Schema{Cols: cols}}
+	db.mu.Lock()
+	if err := db.cat.CreateTable(meta); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.tables[meta.Name] = make([][]value.Row, db.cl.Partitions())
+	db.mu.Unlock()
+	db.appendRows(meta.Name, res.Rows)
+	db.analyzeLocked(meta)
+	return nil
+}
+
+func (db *Database) createView(cv *sqlparse.CreateView) error {
+	// Type-check the definition now so errors surface at CREATE VIEW time.
+	if _, err := plan.NewBuilder(db.cat).BuildSelect(cv.Query); err != nil {
+		return fmt.Errorf("core: invalid view %q: %w", cv.Name, err)
+	}
+	return db.cat.CreateView(&catalog.ViewMeta{Name: cv.Name, Cols: cv.Cols, Query: cv.Query})
+}
+
+func (db *Database) insert(ins *sqlparse.Insert) error {
+	meta, ok := db.cat.Table(ins.Table)
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", ins.Table)
+	}
+	b := plan.NewBuilder(db.cat)
+	rows := make([]value.Row, 0, len(ins.Rows))
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != meta.Schema.Arity() {
+			return fmt.Errorf("core: INSERT supplies %d values for %d columns", len(exprRow), meta.Schema.Arity())
+		}
+		row := make(value.Row, len(exprRow))
+		for i, e := range exprRow {
+			compiled, err := b.BuildValueExpr(e)
+			if err != nil {
+				return err
+			}
+			v, err := compiled.Eval(value.Row{})
+			if err != nil {
+				return err
+			}
+			cv, err := coerce(v, meta.Schema.Cols[i].Type)
+			if err != nil {
+				return fmt.Errorf("core: column %q: %w", meta.Schema.Cols[i].Name, err)
+			}
+			row[i] = cv
+		}
+		rows = append(rows, row)
+	}
+	db.appendRows(meta.Name, rows)
+	return nil
+}
+
+// LoadTable bulk-loads rows into a table, validating and coercing each value
+// against the declared column types, distributing round-robin across the
+// cluster, and refreshing catalog statistics (row count and per-column
+// distinct estimates for scalar columns).
+func (db *Database) LoadTable(name string, rows []value.Row) error {
+	meta, ok := db.cat.Table(name)
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", name)
+	}
+	checked := make([]value.Row, len(rows))
+	for ri, r := range rows {
+		if len(r) != meta.Schema.Arity() {
+			return fmt.Errorf("core: row %d has %d values for %d columns", ri, len(r), meta.Schema.Arity())
+		}
+		nr := make(value.Row, len(r))
+		for i, v := range r {
+			cv, err := coerce(v, meta.Schema.Cols[i].Type)
+			if err != nil {
+				return fmt.Errorf("core: row %d column %q: %w", ri, meta.Schema.Cols[i].Name, err)
+			}
+			nr[i] = cv
+		}
+		checked[ri] = nr
+	}
+	db.appendRows(meta.Name, checked)
+	db.analyzeLocked(meta)
+	return nil
+}
+
+func (db *Database) appendRows(name string, rows []value.Row) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	parts := db.tables[name]
+	if parts == nil {
+		parts = make([][]value.Row, db.cl.Partitions())
+	}
+	// Declared hash partitioning places each row by its partition-column
+	// hash (with the same hash the executor's shuffles use), so scans come
+	// out already co-located for joins and groupings on that column.
+	meta, _ := db.cat.Table(name)
+	if meta != nil && meta.PartitionCol != "" {
+		if idx := meta.Schema.IndexOf(meta.PartitionCol); idx >= 0 {
+			key := []int{idx}
+			for _, r := range rows {
+				d := int(value.HashRowKey(r, key) % uint64(len(parts)))
+				parts[d] = append(parts[d], r)
+			}
+			db.tables[name] = parts
+			db.cat.AddRowCount(name, int64(len(rows)))
+			return
+		}
+	}
+	cursor := db.nextRR[name]
+	for _, r := range rows {
+		parts[cursor%len(parts)] = append(parts[cursor%len(parts)], r)
+		cursor++
+	}
+	db.nextRR[name] = cursor
+	db.tables[name] = parts
+	db.cat.AddRowCount(name, int64(len(rows)))
+}
+
+// analyzeLocked recomputes per-column distinct estimates for scalar columns.
+func (db *Database) analyzeLocked(meta *catalog.TableMeta) {
+	db.mu.RLock()
+	parts := db.tables[meta.Name]
+	db.mu.RUnlock()
+	const cap = 1 << 20
+	for ci, col := range meta.Schema.Cols {
+		switch col.Type.Base {
+		case types.Int, types.Double, types.String, types.Bool:
+		default:
+			continue
+		}
+		seen := map[string]struct{}{}
+		full := true
+		for _, p := range parts {
+			for _, r := range p {
+				seen[r[ci].String()] = struct{}{}
+				if len(seen) >= cap {
+					full = false
+					break
+				}
+			}
+			if !full {
+				break
+			}
+		}
+		db.cat.SetDistinct(meta.Name, col.Name, float64(len(seen)))
+	}
+}
+
+// coerce fits a runtime value to a declared column type.
+func coerce(v value.Value, decl types.T) (value.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch decl.Base {
+	case types.Int:
+		if v.Kind == value.KindInt {
+			return v, nil
+		}
+	case types.Double:
+		switch v.Kind {
+		case value.KindDouble:
+			return v, nil
+		case value.KindInt:
+			return value.Double(float64(v.I)), nil
+		case value.KindLabeledScalar:
+			return value.Double(v.D), nil
+		}
+	case types.String:
+		if v.Kind == value.KindString {
+			return v, nil
+		}
+	case types.Bool:
+		if v.Kind == value.KindBool {
+			return v, nil
+		}
+	case types.LabeledScalar:
+		switch v.Kind {
+		case value.KindLabeledScalar:
+			return v, nil
+		case value.KindDouble:
+			return value.LabeledScalar(v.D, -1), nil
+		case value.KindInt:
+			return value.LabeledScalar(float64(v.I), -1), nil
+		}
+	case types.Vector:
+		if v.Kind == value.KindVector {
+			if d := decl.Dims[0]; d.Known && v.Vec.Len() != d.N {
+				return value.Null(), fmt.Errorf("vector has %d entries, column declares %d", v.Vec.Len(), d.N)
+			}
+			return v, nil
+		}
+	case types.Matrix:
+		if v.Kind == value.KindMatrix {
+			if d := decl.Dims[0]; d.Known && v.Mat.Rows != d.N {
+				return value.Null(), fmt.Errorf("matrix has %d rows, column declares %d", v.Mat.Rows, d.N)
+			}
+			if d := decl.Dims[1]; d.Known && v.Mat.Cols != d.N {
+				return value.Null(), fmt.Errorf("matrix has %d cols, column declares %d", v.Mat.Cols, d.N)
+			}
+			return v, nil
+		}
+	}
+	return value.Null(), fmt.Errorf("cannot store %s in %s column", v.Kind, decl)
+}
+
+func (db *Database) drop(d *sqlparse.DropTable) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.cat.Drop(d.Name) {
+		if d.IfExists {
+			return nil
+		}
+		return fmt.Errorf("core: unknown table or view %q", d.Name)
+	}
+	delete(db.tables, strings.ToLower(d.Name))
+	delete(db.nextRR, strings.ToLower(d.Name))
+	return nil
+}
+
+// Plan compiles and optimizes a SELECT without running it.
+func (db *Database) Plan(sel *sqlparse.Select) (plan.Node, error) {
+	logical, err := plan.NewBuilder(db.cat).BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return opt.New(db.cfg.Optimizer).Optimize(logical)
+}
+
+func (db *Database) explain(sel *sqlparse.Select) (string, error) {
+	optimized, err := db.Plan(sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(optimized), nil
+}
+
+// Explain returns the optimized plan text for a SELECT statement.
+func (db *Database) Explain(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return "", fmt.Errorf("core: EXPLAIN supports SELECT only")
+	}
+	return db.explain(sel)
+}
+
+func (db *Database) query(sel *sqlparse.Select) (*Result, error) {
+	optimized, err := db.Plan(sel)
+	if err != nil {
+		return nil, err
+	}
+	db.cl.ResetBudget()
+	before := db.cl.Stats().Snapshot()
+	timings := exec.NewTimings()
+	ctx := &exec.Context{Cluster: db.cl, Tables: db, Timings: timings, DisableAggFusion: db.cfg.DisableAggFusion}
+	resolved, err := db.resolveSubqueries(ctx, optimized)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := exec.Run(ctx, resolved)
+	if err != nil {
+		return nil, err
+	}
+	after := db.cl.Stats().Snapshot()
+	return &Result{
+		Schema:  rel.Schema,
+		Rows:    rel.Rows(),
+		Timings: timings,
+		Stats: cluster.StatsSnapshot{
+			TuplesShuffled:  after.TuplesShuffled - before.TuplesShuffled,
+			BytesShuffled:   after.BytesShuffled - before.BytesShuffled,
+			TuplesProduced:  after.TuplesProduced - before.TuplesProduced,
+			ShuffleRounds:   after.ShuffleRounds - before.ShuffleRounds,
+			BroadcastRounds: after.BroadcastRounds - before.BroadcastRounds,
+		},
+	}, nil
+}
+
+// TableParts implements exec.TableSource.
+func (db *Database) TableParts(name string) ([][]value.Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	parts, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: table %q has no storage", name)
+	}
+	return parts, nil
+}
+
+// VectorValue is a convenience constructor for building load batches.
+func VectorValue(entries ...float64) value.Value {
+	return value.Vector(linalg.VectorOf(entries...))
+}
+
+// MatrixValue is a convenience constructor for building load batches.
+func MatrixValue(rows [][]float64) (value.Value, error) {
+	m, err := linalg.MatrixFromRows(rows)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.Matrix(m), nil
+}

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"relalg/internal/core"
+	"relalg/internal/value"
+)
+
+// ExampleDatabase_Query shows the paper's Gram-matrix one-liner over a
+// vector-typed column.
+func ExampleDatabase_Query() {
+	db := core.Open(core.DefaultConfig())
+	db.MustExec(`CREATE TABLE v (vec VECTOR[])`)
+	if err := db.LoadTable("v", []value.Row{
+		{core.VectorValue(1, 0)},
+		{core.VectorValue(0, 2)},
+		{core.VectorValue(1, 1)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`SELECT SUM(outer_product(vec, vec)) FROM v`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rows[0][0])
+	// Output: [2 1; 1 5]
+}
+
+// ExampleDatabase_Query_vectorize shows the §3.3 conversion aggregates:
+// labeled scalars become a vector.
+func ExampleDatabase_Query_vectorize() {
+	db := core.Open(core.DefaultConfig())
+	db.MustExec(`CREATE TABLE y (i INTEGER, y_i DOUBLE)`)
+	db.MustExec(`INSERT INTO y VALUES (0, 1.5), (2, 3.5)`)
+	res, err := db.Query(`SELECT VECTORIZE(label_scalar(y_i, i)) FROM y`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rows[0][0]) // hole at position 1 is zero
+	// Output: [1.5 0 3.5]
+}
+
+// ExampleDatabase_Explain shows the optimizer's plan rendering.
+func ExampleDatabase_Explain() {
+	db := core.Open(core.DefaultConfig())
+	db.MustExec(`CREATE TABLE t (a INTEGER, b DOUBLE)`)
+	text, err := db.Explain(`SELECT a, SUM(b) FROM t GROUP BY a`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(text)
+	// Output:
+	// Project [#0:group0, #1:agg0]
+	//   Aggregate group=[#0:a] aggs=[sum(#1:b)]
+	//     Scan t rows=0
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"relalg/internal/value"
+	"relalg/internal/workload"
+)
+
+// TestPaper22PureSQLDistanceMatchesExtension runs the paper's §2.2 example
+// verbatim — the "very intricate specification, requiring a nested subquery
+// and a view" that computes the Riemannian distance d²_A(x_i, x') over
+// normalized tuples — and checks it against the §2.3 one-liner over VECTOR
+// and MATRIX columns. The two must agree exactly; §2.2's point is that the
+// pure-relational form is painful and slow, not wrong.
+func TestPaper22PureSQLDistanceMatchesExtension(t *testing.T) {
+	const (
+		n     = 12
+		d     = 4
+		fixed = 3 // the paper's "particular data point x_i"
+	)
+	db := testDB(t)
+	pts := workload.DenseVectors(31, n, d)
+	metric := workload.MetricMatrix(32, d)
+
+	// --- §2.2 layout: data (pointID, dimID, value), matrixA (rowID, colID, value)
+	db.MustExec(`CREATE TABLE data (pointid INTEGER, dimid INTEGER, value DOUBLE)`)
+	var drows []value.Row
+	for i, p := range pts {
+		for j, x := range p {
+			drows = append(drows, value.Row{value.Int(int64(i)), value.Int(int64(j)), value.Double(x)})
+		}
+	}
+	if err := db.LoadTable("data", drows); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE matrixa (rowid INTEGER, colid INTEGER, value DOUBLE)`)
+	var arows []value.Row
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			arows = append(arows, value.Row{value.Int(int64(i)), value.Int(int64(j)), value.Double(metric.At(i, j))})
+		}
+	}
+	if err := db.LoadTable("matrixa", arows); err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's §2.2 SQL, verbatim up to the literal i.
+	db.MustExec(`CREATE VIEW xdiff (pointid, dimid, value) AS
+		SELECT x2.pointid, x2.dimid, x1.value - x2.value
+		FROM data AS x1, data AS x2
+		WHERE x1.pointid = 3 AND x1.dimid = x2.dimid`)
+	pure, err := db.Query(`SELECT x.pointid, SUM(firstpart.value * x.value)
+		FROM (SELECT x.pointid AS pointid, a.colid AS colid,
+		             SUM(a.value * x.value) AS value
+		      FROM xdiff AS x, matrixa AS a
+		      WHERE x.dimid = a.rowid
+		      GROUP BY x.pointid, a.colid) AS firstpart, xdiff AS x
+		WHERE firstpart.colid = x.dimid
+		  AND firstpart.pointid = x.pointid
+		GROUP BY x.pointid
+		ORDER BY x.pointid`)
+	if err != nil {
+		t.Fatalf("§2.2 pure SQL: %v", err)
+	}
+	if len(pure.Rows) != n {
+		t.Fatalf("§2.2 rows = %d, want %d", len(pure.Rows), n)
+	}
+
+	// --- §2.3 layout: data (pointID, val VECTOR), matrixA (val MATRIX).
+	db.MustExec(`CREATE TABLE datav (pointid INTEGER, val VECTOR[])`)
+	var vrows []value.Row
+	for i, p := range pts {
+		vrows = append(vrows, value.Row{value.Int(int64(i)), VectorValue(p...)})
+	}
+	if err := db.LoadTable("datav", vrows); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE matrixav (val MATRIX[][])`)
+	if err := db.LoadTable("matrixav", []value.Row{{value.Matrix(metric)}}); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := db.Query(`SELECT x2.pointid,
+			inner_product(
+				matrix_vector_multiply(a.val, x1.val - x2.val),
+				x1.val - x2.val) AS value
+		FROM datav AS x1, datav AS x2, matrixav AS a
+		WHERE x1.pointid = 3
+		ORDER BY x2.pointid`)
+	if err != nil {
+		t.Fatalf("§2.3 extension SQL: %v", err)
+	}
+	if len(ext.Rows) != n {
+		t.Fatalf("§2.3 rows = %d, want %d", len(ext.Rows), n)
+	}
+
+	// --- direct reference and pairwise agreement.
+	for i := 0; i < n; i++ {
+		diff := make([]float64, d)
+		for j := 0; j < d; j++ {
+			diff[j] = pts[fixed][j] - pts[i][j]
+		}
+		var want float64
+		for r := 0; r < d; r++ {
+			for c := 0; c < d; c++ {
+				want += diff[r] * metric.At(r, c) * diff[c]
+			}
+		}
+		if pure.Rows[i][0].I != int64(i) || math.Abs(pure.Rows[i][1].D-want) > 1e-9 {
+			t.Fatalf("§2.2 row %d = %v, want %g", i, pure.Rows[i], want)
+		}
+		if ext.Rows[i][0].I != int64(i) || math.Abs(ext.Rows[i][1].D-want) > 1e-9 {
+			t.Fatalf("§2.3 row %d = %v, want %g", i, ext.Rows[i], want)
+		}
+	}
+}
+
+// TestPaper33NormalizeMatrix covers the §3.3 direction the paper leaves as
+// "written similarly": turning a MATRIX attribute back into normalized
+// (row, col, value) triples with get_entry and a labels table.
+func TestPaper33NormalizeMatrix(t *testing.T) {
+	db := testDB(t)
+	db.MustExec(`CREATE TABLE m (val MATRIX[2][3])`)
+	mv, err := MatrixValue([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadTable("m", []value.Row{{mv}}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE rowlabel (id INTEGER)`)
+	db.MustExec(`INSERT INTO rowlabel VALUES (0), (1)`)
+	db.MustExec(`CREATE TABLE collabel (id INTEGER)`)
+	db.MustExec(`INSERT INTO collabel VALUES (0), (1), (2)`)
+	res, err := db.Query(`SELECT r.id, c.id, get_entry(m.val, r.id, c.id)
+		FROM m, rowlabel AS r, collabel AS c
+		ORDER BY r.id, c.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i, row := range res.Rows {
+		if row[2].D != want[i] {
+			t.Fatalf("entry %d = %v, want %g", i, row, want[i])
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKitchenSinkScript drives every SQL surface feature through one script:
+// typed DDL with partitioning, INSERT, views, CTAS, the conversion
+// aggregates, scalar subqueries, EXPLAIN, HAVING/ORDER/LIMIT, and DROP.
+func TestKitchenSinkScript(t *testing.T) {
+	db := testDB(t)
+	results, err := db.RunScript(`
+		-- typed storage, hash partitioned on the id
+		CREATE TABLE obs (id INTEGER, grp INTEGER, x DOUBLE) PARTITION BY HASH (id);
+		INSERT INTO obs VALUES
+			(0, 0, 1.0), (1, 0, 2.0), (2, 0, 3.0),
+			(3, 1, 10.0), (4, 1, 20.0), (5, 1, 30.0);
+
+		-- labeled scalars -> one vector per group
+		CREATE VIEW gvecs AS
+			SELECT grp, VECTORIZE(label_scalar(x, id - grp*3)) AS vec
+			FROM obs GROUP BY grp;
+
+		-- vectors -> one matrix, materialized
+		CREATE TABLE gmat AS
+			SELECT ROWMATRIX(label_vector(vec, grp)) AS m FROM gvecs;
+
+		-- query 1: the matrix
+		SELECT m FROM gmat;
+
+		-- query 2: per-group sums above the global average (scalar subquery)
+		SELECT grp, SUM(x) AS total
+		FROM obs
+		GROUP BY grp
+		HAVING SUM(x) > (SELECT AVG(x) FROM obs)
+		ORDER BY total DESC
+		LIMIT 1;
+
+		-- query 3: explain a join plan
+		EXPLAIN SELECT a.id FROM obs AS a, obs AS b WHERE a.id = b.id;
+
+		-- query 4: linear algebra over the materialized matrix
+		SELECT trace(matrix_multiply(m, trans_matrix(m))) AS frob2 FROM gmat;
+
+		DROP VIEW gvecs;
+		DROP TABLE gmat;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d, want 4", len(results))
+	}
+	// Query 1: 2x3 matrix with the observation values.
+	m := results[0].Rows[0][0].Mat
+	if m.Rows != 2 || m.Cols != 3 || m.At(0, 0) != 1 || m.At(1, 2) != 30 {
+		t.Fatalf("matrix %v", m)
+	}
+	// Query 2: group 1 (total 60) beats the global average (11).
+	if len(results[1].Rows) != 1 || results[1].Rows[0][0].I != 1 || results[1].Rows[0][1].D != 60 {
+		t.Fatalf("having rows %v", results[1].Rows)
+	}
+	// Query 3: plan mentions a hash join over the partitioned scans.
+	var planText strings.Builder
+	for _, r := range results[2].Rows {
+		planText.WriteString(r[0].S)
+		planText.WriteByte('\n')
+	}
+	if !strings.Contains(planText.String(), "HashJoin") {
+		t.Fatalf("plan:\n%s", planText.String())
+	}
+	// Query 4: trace(M Mᵀ) = squared Frobenius norm = 1+4+9+100+400+900.
+	if got := results[3].Rows[0][0].D; got != 1414 {
+		t.Fatalf("frob2 = %g, want 1414", got)
+	}
+	// The dropped objects are gone.
+	if err := db.Exec("SELECT m FROM gmat"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"relalg/internal/exec"
+	"relalg/internal/opt"
+	"relalg/internal/plan"
+	"relalg/internal/value"
+)
+
+// resolveSubqueries pre-executes every uncorrelated scalar subquery in the
+// plan and substitutes its value as a constant: SQL's
+// `WHERE dist = (SELECT MAX(dist) FROM d)` becomes a plain comparison
+// against the computed maximum. Inner plans are optimized, resolved
+// recursively, and run on the same cluster context (so their work shows up
+// in the query's stats and budget). An empty subquery result is NULL; more
+// than one row is an error.
+func (db *Database) resolveSubqueries(ctx *exec.Context, n plan.Node) (plan.Node, error) {
+	mapExprs := func(exprs []plan.Expr) ([]plan.Expr, error) {
+		out := make([]plan.Expr, len(exprs))
+		for i, e := range exprs {
+			r, err := db.resolveExpr(ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	switch x := n.(type) {
+	case *plan.Scan, *plan.OneRow:
+		return n, nil
+	case *plan.Project:
+		in, err := db.resolveSubqueries(ctx, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		exprs, err := mapExprs(x.Exprs)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Project{Input: in, Exprs: exprs, Out: x.Out}, nil
+	case *plan.Filter:
+		in, err := db.resolveSubqueries(ctx, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := db.resolveExpr(ctx, x.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Filter{Input: in, Pred: pred}, nil
+	case *plan.Join:
+		l, err := db.resolveSubqueries(ctx, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.resolveSubqueries(ctx, x.R)
+		if err != nil {
+			return nil, err
+		}
+		lk, err := mapExprs(x.LKeys)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := mapExprs(x.RKeys)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mapExprs(x.Residual)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Join{L: l, R: r, LKeys: lk, RKeys: rk, Residual: res, Out: x.Out}, nil
+	case *plan.Cross:
+		l, err := db.resolveSubqueries(ctx, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.resolveSubqueries(ctx, x.R)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mapExprs(x.Residual)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Cross{L: l, R: r, Residual: res, Out: x.Out}, nil
+	case *plan.Agg:
+		in, err := db.resolveSubqueries(ctx, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		groups, err := mapExprs(x.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		aggs := make([]plan.AggCall, len(x.Aggs))
+		for i, a := range x.Aggs {
+			na := a
+			if a.Input != nil {
+				r, err := db.resolveExpr(ctx, a.Input)
+				if err != nil {
+					return nil, err
+				}
+				na.Input = r
+			}
+			aggs[i] = na
+		}
+		return &plan.Agg{Input: in, GroupBy: groups, Aggs: aggs, Out: x.Out}, nil
+	case *plan.Sort:
+		in, err := db.resolveSubqueries(ctx, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Sort{Input: in, Keys: x.Keys}, nil
+	case *plan.Limit:
+		in, err := db.resolveSubqueries(ctx, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Limit{Input: in, N: x.N}, nil
+	case *plan.MultiJoin:
+		// MultiJoin only survives when optimization was skipped; resolve its
+		// pieces anyway for robustness.
+		inputs := make([]plan.Node, len(x.Inputs))
+		for i, in := range x.Inputs {
+			r, err := db.resolveSubqueries(ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = r
+		}
+		conj, err := mapExprs(x.Conjuncts)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.MultiJoin{Inputs: inputs, Conjuncts: conj, Out: x.Out}, nil
+	}
+	return nil, fmt.Errorf("core: resolveSubqueries: unknown node %T", n)
+}
+
+// resolveExpr rewrites one expression tree, executing scalar subqueries.
+func (db *Database) resolveExpr(ctx *exec.Context, e plan.Expr) (plan.Expr, error) {
+	switch x := e.(type) {
+	case *plan.ScalarSubquery:
+		v, err := db.runScalarSubquery(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Const{V: v, T: x.T}, nil
+	case *plan.Binary:
+		l, err := db.resolveExpr(ctx, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.resolveExpr(ctx, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Binary{Op: x.Op, Kind: x.Kind, L: l, R: r, T: x.T}, nil
+	case *plan.Not:
+		inner, err := db.resolveExpr(ctx, x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Not{E: inner}, nil
+	case *plan.Neg:
+		inner, err := db.resolveExpr(ctx, x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Neg{E: inner, T: x.T}, nil
+	case *plan.Call:
+		args := make([]plan.Expr, len(x.Args))
+		for i, a := range x.Args {
+			r, err := db.resolveExpr(ctx, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		return &plan.Call{Fn: x.Fn, Args: args, T: x.T}, nil
+	default:
+		return e, nil
+	}
+}
+
+func (db *Database) runScalarSubquery(ctx *exec.Context, s *plan.ScalarSubquery) (value.Value, error) {
+	optimized, err := opt.New(db.cfg.Optimizer).Optimize(s.Plan)
+	if err != nil {
+		return value.Null(), err
+	}
+	resolved, err := db.resolveSubqueries(ctx, optimized)
+	if err != nil {
+		return value.Null(), err
+	}
+	rel, err := exec.Run(ctx, resolved)
+	if err != nil {
+		return value.Null(), err
+	}
+	rows := rel.Rows()
+	switch len(rows) {
+	case 0:
+		return value.Null(), nil
+	case 1:
+		return rows[0][0], nil
+	}
+	return value.Null(), fmt.Errorf("core: scalar subquery returned %d rows", len(rows))
+}

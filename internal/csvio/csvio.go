@@ -1,0 +1,203 @@
+// Package csvio loads and dumps tables as CSV, so the engine can exchange
+// data with the outside world. Scalar columns use their natural text forms;
+// VECTOR cells are space-separated entries ("1 2 3"); MATRIX cells are
+// semicolon-separated rows of space-separated entries ("1 2; 3 4") — both
+// forms fit in a single quoted CSV field and round-trip losslessly through
+// strconv's shortest representation.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"relalg/internal/core"
+	"relalg/internal/linalg"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+// Load reads CSV rows into an existing table, coercing each field to the
+// declared column type. header controls whether the first record is a
+// header line (it is validated against the schema's column names when
+// present).
+func Load(db *core.Database, table string, r io.Reader, header bool) (int, error) {
+	meta, ok := db.Catalog().Table(table)
+	if !ok {
+		return 0, fmt.Errorf("csvio: unknown table %q", table)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = meta.Schema.Arity()
+	cr.TrimLeadingSpace = true
+
+	var rows []value.Row
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("csvio: %w", err)
+		}
+		if first && header {
+			first = false
+			for i, name := range rec {
+				if !strings.EqualFold(strings.TrimSpace(name), meta.Schema.Cols[i].Name) {
+					return 0, fmt.Errorf("csvio: header column %d is %q, table has %q",
+						i, name, meta.Schema.Cols[i].Name)
+				}
+			}
+			continue
+		}
+		first = false
+		row := make(value.Row, len(rec))
+		for i, field := range rec {
+			v, err := ParseValue(field, meta.Schema.Cols[i].Type)
+			if err != nil {
+				return 0, fmt.Errorf("csvio: row %d column %q: %w", len(rows)+1, meta.Schema.Cols[i].Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := db.LoadTable(table, rows); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// ParseValue converts one CSV field to a value of the declared type. The
+// empty string is NULL.
+func ParseValue(field string, decl types.T) (value.Value, error) {
+	field = strings.TrimSpace(field)
+	if field == "" {
+		return value.Null(), nil
+	}
+	switch decl.Base {
+	case types.Int:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("bad INTEGER %q", field)
+		}
+		return value.Int(n), nil
+	case types.Double, types.LabeledScalar:
+		d, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("bad DOUBLE %q", field)
+		}
+		if decl.Base == types.LabeledScalar {
+			return value.LabeledScalar(d, -1), nil
+		}
+		return value.Double(d), nil
+	case types.String:
+		return value.String_(field), nil
+	case types.Bool:
+		b, err := strconv.ParseBool(field)
+		if err != nil {
+			return value.Null(), fmt.Errorf("bad BOOLEAN %q", field)
+		}
+		return value.Bool(b), nil
+	case types.Vector:
+		entries, err := parseFloats(field)
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Vector(linalg.VectorOf(entries...)), nil
+	case types.Matrix:
+		var rows [][]float64
+		for _, line := range strings.Split(field, ";") {
+			entries, err := parseFloats(line)
+			if err != nil {
+				return value.Null(), err
+			}
+			rows = append(rows, entries)
+		}
+		m, err := linalg.MatrixFromRows(rows)
+		if err != nil {
+			return value.Null(), err
+		}
+		return value.Matrix(m), nil
+	}
+	return value.Null(), fmt.Errorf("csvio: unsupported column type %s", decl)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	fields := strings.Fields(s)
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		d, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad numeric entry %q", f)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// FormatValue renders one value as a CSV field, inverse of ParseValue.
+func FormatValue(v value.Value) string {
+	switch v.Kind {
+	case value.KindNull:
+		return ""
+	case value.KindBool:
+		return strconv.FormatBool(v.B)
+	case value.KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case value.KindDouble, value.KindLabeledScalar:
+		return strconv.FormatFloat(v.D, 'g', -1, 64)
+	case value.KindString:
+		return v.S
+	case value.KindVector:
+		return joinFloats(v.Vec.Data)
+	case value.KindMatrix:
+		parts := make([]string, v.Mat.Rows)
+		for i := 0; i < v.Mat.Rows; i++ {
+			parts[i] = joinFloats(v.Mat.Row(i))
+		}
+		return strings.Join(parts, "; ")
+	}
+	return ""
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Dump writes a query result as CSV with a header row.
+func Dump(res *core.Result, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(res.Schema))
+	for i, f := range res.Schema {
+		header[i] = f.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(res.Schema))
+	for _, row := range res.Rows {
+		for i, v := range row {
+			rec[i] = FormatValue(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DumpTable dumps SELECT * FROM table.
+func DumpTable(db *core.Database, table string, w io.Writer) error {
+	res, err := db.Query("SELECT * FROM " + table)
+	if err != nil {
+		return err
+	}
+	return Dump(res, w)
+}

@@ -1,0 +1,137 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"relalg/internal/core"
+	"relalg/internal/linalg"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+func newDB(t *testing.T) *core.Database {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Cluster.Nodes = 2
+	cfg.Cluster.PartitionsPerNode = 1
+	return core.Open(cfg)
+}
+
+func TestLoadScalarsWithHeader(t *testing.T) {
+	db := newDB(t)
+	db.MustExec("CREATE TABLE t (id INTEGER, name STRING, score DOUBLE, ok BOOLEAN)")
+	csvText := "id,name,score,ok\n1,alice,2.5,true\n2,bob,-1,false\n3,,3.25,true\n"
+	n, err := Load(db, "t", strings.NewReader(csvText), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	res, err := db.Query("SELECT id, name, score, ok FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1].S != "alice" || res.Rows[1][2].D != -1 || !res.Rows[2][1].IsNull() {
+		t.Fatalf("rows %v", res.Rows)
+	}
+}
+
+func TestLoadVectorsAndMatrices(t *testing.T) {
+	db := newDB(t)
+	db.MustExec("CREATE TABLE vm (id INTEGER, vec VECTOR[3], mat MATRIX[2][2])")
+	csvText := `1,"1 2 3","1 2; 3 4"` + "\n" + `2,"0 0 1","5 6; 7 8"` + "\n"
+	if _, err := Load(db, "vm", strings.NewReader(csvText), false); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT vec, mat FROM vm ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].Vec.Equal(linalg.VectorOf(1, 2, 3)) {
+		t.Fatalf("vec %v", res.Rows[0][0])
+	}
+	if res.Rows[1][1].Mat.At(1, 0) != 7 {
+		t.Fatalf("mat %v", res.Rows[1][1])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db := newDB(t)
+	db.MustExec("CREATE TABLE t (id INTEGER, vec VECTOR[2])")
+	cases := []string{
+		"x,\"1 2\"",   // bad integer
+		"1,\"1 2 3\"", // wrong vector length (schema enforcement)
+		"1,\"1 two\"", // bad entry
+		"1",           // wrong arity
+	}
+	for _, c := range cases {
+		if _, err := Load(db, "t", strings.NewReader(c+"\n"), false); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", c)
+		}
+	}
+	if _, err := Load(db, "nosuch", strings.NewReader("1\n"), false); err == nil {
+		t.Error("load into missing table succeeded")
+	}
+	// Wrong header name.
+	if _, err := Load(db, "t", strings.NewReader("id,wrong\n1,\"1 2\"\n"), true); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	db := newDB(t)
+	db.MustExec("CREATE TABLE t (id INTEGER, vec VECTOR[2], mat MATRIX[2][2], s STRING)")
+	m, _ := linalg.MatrixFromRows([][]float64{{1.5, 2}, {3, 4}})
+	rows := []value.Row{
+		{value.Int(1), value.Vector(linalg.VectorOf(0.5, -1)), value.Matrix(m), value.String_("hello, world")},
+		{value.Int(2), value.Vector(linalg.VectorOf(7, 8)), value.Matrix(linalg.Identity(2)), value.Null()},
+	}
+	if err := db.LoadTable("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DumpTable(db, "t", &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip into a second database.
+	db2 := newDB(t)
+	db2.MustExec("CREATE TABLE t (id INTEGER, vec VECTOR[2], mat MATRIX[2][2], s STRING)")
+	n, err := Load(db2, "t", bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatalf("round trip: %v\ncsv:\n%s", err, buf.String())
+	}
+	if n != 2 {
+		t.Fatalf("round trip loaded %d rows", n)
+	}
+	res, err := db2.Query("SELECT id, vec, mat, s FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][1].Vec.Equal(linalg.VectorOf(0.5, -1)) {
+		t.Fatalf("vec %v", res.Rows[0][1])
+	}
+	if !res.Rows[0][2].Mat.Equal(m) {
+		t.Fatalf("mat %v", res.Rows[0][2])
+	}
+	if res.Rows[0][3].S != "hello, world" {
+		t.Fatalf("string %v", res.Rows[0][3])
+	}
+	// NULL string dumps as empty and reloads as NULL.
+	if !res.Rows[1][3].IsNull() {
+		t.Fatalf("null round trip %v", res.Rows[1][3])
+	}
+}
+
+func TestParseValueLabeledScalar(t *testing.T) {
+	v, err := ParseValue("2.5", types.TLabeledScalar)
+	if err != nil || v.Kind != value.KindLabeledScalar || v.D != 2.5 || v.Label != -1 {
+		t.Fatalf("labeled scalar %v, %v", v, err)
+	}
+	if got := FormatValue(v); got != "2.5" {
+		t.Fatalf("format %q", got)
+	}
+}

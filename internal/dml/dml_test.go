@@ -1,0 +1,276 @@
+package dml
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"relalg/internal/cluster"
+	"relalg/internal/core"
+	"relalg/internal/linalg"
+)
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Cluster = cluster.Config{Nodes: 2, PartitionsPerNode: 2, SerializeShuffles: true}
+	return New(core.Open(cfg))
+}
+
+func TestGramViaDML(t *testing.T) {
+	s := session(t)
+	data := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if err := s.BindMatrix("x", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(`G = t(X) %*% X`); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Matrix("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, _ := linalg.MatrixFromRows(data)
+	want, _ := X.Transpose().MulMat(X)
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatalf("G = %v, want %v", got, want)
+	}
+}
+
+func TestRegressionViaDML(t *testing.T) {
+	s := session(t)
+	// y = 2*x0 - x1 exactly.
+	data := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 3}}
+	y := make([]float64, len(data))
+	for i, r := range data {
+		y[i] = 2*r[0] - r[1]
+	}
+	if err := s.BindMatrix("X", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindVectorAsColumn("y", y); err != nil {
+		t.Fatal(err)
+	}
+	script := `
+		# the paper's least-squares pipeline, in three DML lines
+		G = t(X) %*% X
+		xty = t(X) %*% y
+		beta = solve(G, xty)
+		print(beta)
+	`
+	if err := s.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	beta, err := s.Matrix("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta.Rows != 2 || beta.Cols != 1 {
+		t.Fatalf("beta shape %dx%d", beta.Rows, beta.Cols)
+	}
+	if math.Abs(beta.At(0, 0)-2) > 1e-9 || math.Abs(beta.At(1, 0)+1) > 1e-9 {
+		t.Fatalf("beta = %v", beta)
+	}
+	if len(s.Printed()) != 1 || !strings.HasPrefix(s.Printed()[0], "[") {
+		t.Fatalf("printed %v", s.Printed())
+	}
+}
+
+func TestElementwiseAndBroadcast(t *testing.T) {
+	s := session(t)
+	if err := s.BindMatrix("a", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(`
+		b = a * a
+		c = a * 2 + 1
+		d = -a
+		e = a / 2
+	`); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Matrix("b")
+	if b.At(1, 1) != 16 {
+		t.Fatalf("b = %v", b)
+	}
+	cm, _ := s.Matrix("c")
+	if cm.At(0, 0) != 3 || cm.At(1, 1) != 9 {
+		t.Fatalf("c = %v", cm)
+	}
+	d, _ := s.Matrix("d")
+	if d.At(0, 1) != -2 {
+		t.Fatalf("d = %v", d)
+	}
+	em, _ := s.Matrix("e")
+	if em.At(1, 0) != 1.5 {
+		t.Fatalf("e = %v", em)
+	}
+}
+
+func TestScalarFunctionsAndVars(t *testing.T) {
+	s := session(t)
+	if err := s.BindMatrix("m", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindScalar("k", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(`
+		total = sum(m)
+		tr = trace(m)
+		r = nrow(m)
+		c = ncol(m)
+		scaled = m * k
+		combo = total + tr
+	`); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{"total": 10, "tr": 5, "r": 2, "c": 2, "combo": 15}
+	for name, want := range checks {
+		got, err := s.Scalar(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s = %g, want %g", name, got, want)
+		}
+	}
+	sc, _ := s.Matrix("scaled")
+	if sc.At(1, 1) != 40 {
+		t.Fatalf("scaled = %v", sc)
+	}
+}
+
+func TestStructuralFunctions(t *testing.T) {
+	s := session(t)
+	if err := s.BindMatrix("m", [][]float64{{1, 9}, {8, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(`
+		dg = diag(m)
+		dm = diagm(dg)
+		rs = rowsums(m)
+		cs = colsums(m)
+		rmin = rowmins(m)
+		rmax = rowmaxs(m)
+		id3 = identity(3)
+		z = zeros(2, 3)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	dg, _ := s.Matrix("dg")
+	if dg.Rows != 2 || dg.Cols != 1 || dg.At(0, 0) != 1 || dg.At(1, 0) != 4 {
+		t.Fatalf("diag = %v", dg)
+	}
+	dm, _ := s.Matrix("dm")
+	if dm.At(0, 0) != 1 || dm.At(1, 1) != 4 || dm.At(0, 1) != 0 {
+		t.Fatalf("diagm = %v", dm)
+	}
+	rs, _ := s.Matrix("rs")
+	if rs.At(0, 0) != 10 || rs.At(1, 0) != 12 {
+		t.Fatalf("rowsums = %v", rs)
+	}
+	cs, _ := s.Matrix("cs")
+	if cs.Rows != 1 || cs.At(0, 0) != 9 || cs.At(0, 1) != 13 {
+		t.Fatalf("colsums = %v", cs)
+	}
+	rmin, _ := s.Matrix("rmin")
+	if rmin.At(0, 0) != 1 || rmin.At(1, 0) != 4 {
+		t.Fatalf("rowmins = %v", rmin)
+	}
+	rmax, _ := s.Matrix("rmax")
+	if rmax.At(0, 0) != 9 || rmax.At(1, 0) != 8 {
+		t.Fatalf("rowmaxs = %v", rmax)
+	}
+	id3, _ := s.Matrix("id3")
+	if !id3.Equal(linalg.Identity(3)) {
+		t.Fatalf("identity = %v", id3)
+	}
+	z, _ := s.Matrix("z")
+	if z.Rows != 2 || z.Cols != 3 || z.Sum() != 0 {
+		t.Fatalf("zeros = %v", z)
+	}
+}
+
+// TestDistanceViaDML runs the paper's SystemML distance program through the
+// DML frontend (all_dist = X %*% m %*% t(X), diagonal masked, row minima).
+func TestDistanceViaDML(t *testing.T) {
+	s := session(t)
+	data := [][]float64{{0, 0}, {1, 0}, {0, 2}}
+	if err := s.BindMatrix("X", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindMatrix("m", [][]float64{{2, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(`
+		all_dist = X %*% m %*% t(X)
+		masked = all_dist + diagm(diag(identity(3))) * 1e300
+		min_dist = rowmins(masked)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	mins, err := s.Matrix("min_dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d(x0,·)=0 for both others; d(x1,x0)=0, d(x1,x2)=0 -> row mins all 0
+	// except... X m Xt for this data: row1: [0,0,0]; row2: [0,2,0]; row3:[0,0,4]
+	// masked diag -> huge; mins: row0 = 0, row1 = 0, row2 = 0.
+	for i := 0; i < 3; i++ {
+		if mins.At(i, 0) != 0 {
+			t.Fatalf("min_dist[%d] = %g", i, mins.At(i, 0))
+		}
+	}
+}
+
+func TestDMLErrors(t *testing.T) {
+	s := session(t)
+	if err := s.BindMatrix("m", [][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"x = nosuchvar + 1",
+		"x = nosuchfn(m)",
+		"x = t(1)",        // wrong kind
+		"x = m %*% 2",     // matrix multiply with scalar
+		"x = solve(m)",    // arity
+		"x = m +",         // parse error
+		"x = (m",          // unbalanced
+		"x = m $ m",       // bad character
+		"1x = m",          // bad variable name
+		"x",               // not an assignment
+		"x = identity(m)", // kind error
+	}
+	for _, src := range bad {
+		if err := s.Run(src); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", src)
+		}
+	}
+	if _, err := s.Matrix("never"); err == nil {
+		t.Error("Matrix of unknown variable succeeded")
+	}
+	if _, err := s.Scalar("m"); err == nil {
+		t.Error("Scalar of matrix variable succeeded")
+	}
+}
+
+func TestDMLReassignmentChangesKind(t *testing.T) {
+	s := session(t)
+	if err := s.BindMatrix("m", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run("x = m + 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Matrix("x"); err != nil {
+		t.Fatal(err)
+	}
+	// Reassign x to a scalar.
+	if err := s.Run("x = sum(m)"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Scalar("x"); err != nil || v != 10 {
+		t.Fatalf("x = %g, %v", v, err)
+	}
+}

@@ -1,0 +1,36 @@
+package dml_test
+
+import (
+	"fmt"
+	"log"
+
+	"relalg/internal/core"
+	"relalg/internal/dml"
+)
+
+// Example runs a least-squares fit in the DML frontend; every assignment
+// compiles to a CREATE TABLE ... AS SELECT over the engine's linear-algebra
+// built-ins.
+func Example() {
+	db := core.Open(core.DefaultConfig())
+	s := dml.New(db)
+	if err := s.BindMatrix("X", [][]float64{{1, 0}, {0, 1}, {1, 1}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.BindVectorAsColumn("y", []float64{2, -1, 1}); err != nil {
+		log.Fatal(err)
+	}
+	err := s.Run(`
+		G    = t(X) %*% X
+		beta = solve(G, t(X) %*% y)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	beta, err := s.Matrix("beta")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f %.0f\n", beta.At(0, 0), beta.At(1, 0))
+	// Output: 2 -1
+}

@@ -1,0 +1,259 @@
+package exec
+
+import (
+	"time"
+
+	"relalg/internal/builtins"
+	"relalg/internal/plan"
+	"relalg/internal/value"
+)
+
+// aggGroup is the running state for one group on one partition.
+type aggGroup struct {
+	keys   []value.Value
+	states []builtins.AggState
+}
+
+// runAgg executes a two-phase distributed aggregation: partition-local
+// pre-aggregation, a shuffle of partial states keyed by group, and a final
+// merge. The shuffle moves one partial state per (partition, group) instead
+// of one row per input tuple — exactly the saving that makes SUM over
+// matrices cheap and whose absence makes the tuple-based plans of Figure 4
+// aggregation-bound.
+func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
+	in, err := Run(ctx, a.Input)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: local pre-aggregation.
+	startLocal := time.Now()
+	locals := make([]map[uint64][]*aggGroup, len(in.Parts))
+	err = ctx.Cluster.Parallel(func(part int) error {
+		groups := map[uint64][]*aggGroup{}
+		for _, r := range in.Parts[part] {
+			kv, err := evalKeys(a.GroupBy, r)
+			if err != nil {
+				return err
+			}
+			h := hashVals(kv)
+			var g *aggGroup
+			for _, cand := range groups[h] {
+				if valsEqual(cand.keys, kv) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &aggGroup{keys: kv, states: newStates(a.Aggs, !ctx.DisableAggFusion)}
+				groups[h] = append(groups[h], g)
+			}
+			if err := stepStates(g.states, a.Aggs, r); err != nil {
+				return err
+			}
+		}
+		locals[part] = groups
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Timings.Add("aggregate", time.Since(startLocal))
+
+	// Phase 2: move partial states to their destination partition. When the
+	// input is already partitioned on (a subset of) the group keys — or
+	// there are no group keys and everything should meet on partition 0 —
+	// the move is local.
+	startShuffle := time.Now()
+	p := ctx.Cluster.Partitions()
+	dest := func(h uint64) int { return int(h % uint64(p)) }
+	skipShuffle := in.Single || groupingAligned(in.HashKeys, a.GroupBy)
+	if len(a.GroupBy) == 0 {
+		dest = func(uint64) int { return 0 }
+		skipShuffle = false
+		if in.Single {
+			skipShuffle = true
+		}
+	}
+
+	merged := make([]map[uint64][]*aggGroup, p)
+	for i := range merged {
+		merged[i] = map[uint64][]*aggGroup{}
+	}
+	if skipShuffle {
+		for part, groups := range locals {
+			if groups != nil {
+				merged[part] = groups
+			}
+		}
+	} else {
+		// Charge the movement: every group whose destination differs from
+		// its source crosses the network as (key row + partial values).
+		for src, groups := range locals {
+			for h, gs := range groups {
+				d := dest(h)
+				for _, g := range gs {
+					if d != src {
+						chargeStateMove(ctx, g)
+					}
+					// Merge into the destination.
+					var tgt *aggGroup
+					for _, cand := range merged[d][h] {
+						if valsEqual(cand.keys, g.keys) {
+							tgt = cand
+							break
+						}
+					}
+					if tgt == nil {
+						merged[d][h] = append(merged[d][h], g)
+						continue
+					}
+					for i := range tgt.states {
+						if err := tgt.states[i].Merge(g.states[i]); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	ctx.Timings.Add("aggregate-shuffle", time.Since(startShuffle))
+
+	// Phase 3: finalize.
+	startFinal := time.Now()
+	out := make([][]value.Row, p)
+	err = ctx.Cluster.Parallel(func(part int) error {
+		var rows []value.Row
+		for _, gs := range merged[part] {
+			for _, g := range gs {
+				row := make(value.Row, 0, len(a.Out))
+				row = append(row, g.keys...)
+				for _, st := range g.states {
+					v, err := st.Final()
+					if err != nil {
+						return err
+					}
+					row = append(row, v)
+				}
+				rows = append(rows, row)
+			}
+		}
+		out[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// A grouping with no keys over an empty input still yields one row
+	// (SQL: SELECT SUM(x) FROM empty returns a single NULL row).
+	if len(a.GroupBy) == 0 && relEmpty(out) {
+		row := make(value.Row, 0, len(a.Aggs))
+		for _, st := range newStates(a.Aggs, !ctx.DisableAggFusion) {
+			v, err := st.Final()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out[0] = []value.Row{row}
+	}
+
+	var produced int64
+	for _, pr := range out {
+		produced += int64(len(pr))
+	}
+	if err := ctx.Cluster.ChargeTuples(produced); err != nil {
+		return nil, err
+	}
+	ctx.Timings.Add("aggregate", time.Since(startFinal))
+
+	rel := &Relation{Schema: a.Out, Parts: out}
+	if len(a.GroupBy) == 0 {
+		rel.Single = true
+	}
+	return rel, nil
+}
+
+func relEmpty(parts [][]value.Row) bool {
+	for _, p := range parts {
+		if len(p) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// groupingAligned reports whether the input partitioning co-locates rows of
+// the same group: the hash keys must be a subset of the group expressions.
+func groupingAligned(hashKeys []string, groupBy []plan.Expr) bool {
+	if len(hashKeys) == 0 || len(groupBy) == 0 {
+		return false
+	}
+	gset := map[string]bool{}
+	for _, g := range groupBy {
+		gset[g.String()] = true
+	}
+	for _, h := range hashKeys {
+		if !gset[h] {
+			return false
+		}
+	}
+	return true
+}
+
+func newStates(aggs []plan.AggCall, fuse bool) []builtins.AggState {
+	out := make([]builtins.AggState, len(aggs))
+	for i, a := range aggs {
+		if fuse {
+			if kind := fusedOf(a); kind != fusedNone {
+				out[i] = &fusedSumState{kind: kind, args: a.Input.(*plan.Call).Args}
+				continue
+			}
+		}
+		out[i] = a.Spec.New()
+	}
+	return out
+}
+
+func stepStates(states []builtins.AggState, aggs []plan.AggCall, row value.Row) error {
+	for i, a := range aggs {
+		if fs, ok := states[i].(*fusedSumState); ok {
+			if err := fs.stepFused(row); err != nil {
+				return err
+			}
+			continue
+		}
+		var v value.Value
+		if a.Input == nil {
+			// COUNT(*): any non-null marker.
+			v = value.Int(1)
+		} else {
+			var err error
+			v, err = a.Input.Eval(row)
+			if err != nil {
+				return err
+			}
+		}
+		if err := states[i].Step(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chargeStateMove accounts for a partial aggregate state crossing the
+// network: the group key plus the current partial values, serialized.
+func chargeStateMove(ctx *Context, g *aggGroup) {
+	row := make(value.Row, 0, len(g.keys)+len(g.states))
+	row = append(row, g.keys...)
+	for _, st := range g.states {
+		if v, err := st.Final(); err == nil {
+			row = append(row, v)
+		}
+	}
+	buf := value.AppendRow(nil, row)
+	ctx.Cluster.Stats().TuplesShuffled.Add(1)
+	ctx.Cluster.Stats().BytesShuffled.Add(int64(len(buf)))
+	ctx.Cluster.NetworkWait(int64(len(buf)))
+}

@@ -1,0 +1,332 @@
+// Package exec is the physical executor: it runs optimized logical plans on
+// the simulated shared-nothing cluster, materializing a partitioned relation
+// per operator (stage-at-a-time, like the Hadoop-based SimSQL the paper
+// built on). Joins and aggregations shuffle through the cluster — paying
+// serialization and network accounting — and aggregation is two-phase:
+// partition-local pre-aggregation, a shuffle of partial states, then a
+// merge, which is what makes SUM over vectors and matrix blocks scale.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"relalg/internal/cluster"
+	"relalg/internal/plan"
+	"relalg/internal/value"
+)
+
+// Relation is a materialized, partitioned intermediate result.
+type Relation struct {
+	Schema plan.Schema
+	Parts  [][]value.Row
+	// HashKeys, when non-nil, records the String() forms of the expressions
+	// this relation is hash-partitioned by, letting downstream joins and
+	// aggregations skip redundant shuffles (the paper's "R was already
+	// partitioned on the join key" optimization).
+	HashKeys []string
+	// Single marks a relation gathered onto one partition.
+	Single bool
+}
+
+// Rows gathers all partitions (convenience for result consumption).
+func (r *Relation) Rows() []value.Row {
+	var n int
+	for _, p := range r.Parts {
+		n += len(p)
+	}
+	out := make([]value.Row, 0, n)
+	for _, p := range r.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// NumRows counts rows across partitions.
+func (r *Relation) NumRows() int {
+	n := 0
+	for _, p := range r.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// TableSource resolves table names to stored partitions.
+type TableSource interface {
+	TableParts(name string) ([][]value.Row, error)
+}
+
+// Timings accumulates wall-clock time per operator label; Figure 4's
+// breakdown of join vs aggregation cost reads from here.
+type Timings struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+// NewTimings returns an empty timing table.
+func NewTimings() *Timings { return &Timings{m: map[string]time.Duration{}} }
+
+// Add charges d to label.
+func (t *Timings) Add(label string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.m[label] += d
+	t.mu.Unlock()
+}
+
+// Get returns the accumulated time for label.
+func (t *Timings) Get(label string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[label]
+}
+
+// Labels returns all labels sorted.
+func (t *Timings) Labels() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.m))
+	for l := range t.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total sums all labels.
+func (t *Timings) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d time.Duration
+	for _, v := range t.m {
+		d += v
+	}
+	return d
+}
+
+// Context carries everything an execution needs.
+type Context struct {
+	Cluster *cluster.Cluster
+	Tables  TableSource
+	Timings *Timings
+	// DisableAggFusion turns off the fused SUM(outer_product)/
+	// SUM(matrix_multiply) accumulation, reverting to one materialized
+	// result object per input row — the behaviour of the paper's 2017
+	// SimSQL, which the benchmark harness emulates (ablation A4).
+	DisableAggFusion bool
+}
+
+// Run executes a plan and returns the materialized result.
+func Run(ctx *Context, n plan.Node) (*Relation, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return runScan(ctx, x)
+	case *plan.Project:
+		return runProject(ctx, x)
+	case *plan.Filter:
+		return runFilter(ctx, x)
+	case *plan.Join:
+		return runJoin(ctx, x)
+	case *plan.Cross:
+		return runCross(ctx, x)
+	case *plan.Agg:
+		return runAgg(ctx, x)
+	case *plan.Sort:
+		return runSort(ctx, x)
+	case *plan.Limit:
+		return runLimit(ctx, x)
+	case *plan.OneRow:
+		parts := make([][]value.Row, ctx.Cluster.Partitions())
+		parts[0] = []value.Row{{}}
+		return &Relation{Schema: plan.Schema{}, Parts: parts, Single: true}, nil
+	case *plan.MultiJoin:
+		return nil, fmt.Errorf("exec: unoptimized MultiJoin reached the executor")
+	}
+	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+}
+
+func runScan(ctx *Context, s *plan.Scan) (*Relation, error) {
+	start := time.Now()
+	parts, err := ctx.Tables.TableParts(s.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	rel := &Relation{Schema: s.Out, Parts: parts}
+	if len(parts) != ctx.Cluster.Partitions() {
+		// Re-spread (e.g. when a table was loaded under a different layout).
+		rel.Parts = ctx.Cluster.ScatterRoundRobin(flatten(parts))
+	} else if s.Table.PartitionCol != "" {
+		// A declared hash-partitioned table scans out pre-placed: advertise
+		// the partitioning so joins/groupings on the column skip their
+		// shuffle (the paper's "R was already partitioned on the join key").
+		if idx := s.Table.Schema.IndexOf(s.Table.PartitionCol); idx >= 0 && idx < len(s.Out) {
+			keyCol := &plan.Col{Idx: idx, Name: s.Out[idx].Name, T: s.Out[idx].T}
+			rel.HashKeys = []string{keyCol.String()}
+		}
+	}
+	ctx.Timings.Add("scan", time.Since(start))
+	return rel, nil
+}
+
+func flatten(parts [][]value.Row) []value.Row {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]value.Row, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
+	// Fuse a projection directly above a join into the join itself: the
+	// concatenated row is built transiently per match and only the
+	// projected row materializes. This is what makes the optimizer's eager
+	// projections (§4.1) pay off — the wide matrix pair never exists as an
+	// intermediate.
+	switch in := p.Input.(type) {
+	case *plan.Join:
+		return runJoinWith(ctx, in, &projectSpec{exprs: p.Exprs, out: p.Out})
+	case *plan.Cross:
+		return runCrossWith(ctx, in, &projectSpec{exprs: p.Exprs, out: p.Out})
+	}
+	in, err := Run(ctx, p.Input)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out := make([][]value.Row, len(in.Parts))
+	err = ctx.Cluster.Parallel(func(part int) error {
+		rows := make([]value.Row, 0, len(in.Parts[part]))
+		for _, r := range in.Parts[part] {
+			nr := make(value.Row, len(p.Exprs))
+			for i, e := range p.Exprs {
+				v, err := e.Eval(r)
+				if err != nil {
+					return err
+				}
+				nr[i] = v
+			}
+			rows = append(rows, nr)
+		}
+		out[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Cluster.ChargeTuples(int64(in.NumRows())); err != nil {
+		return nil, err
+	}
+	ctx.Timings.Add("project", time.Since(start))
+	// A projection keeps the physical placement of its input; preserved
+	// hash keys would require rewriting them through the projection, so we
+	// conservatively keep only Single.
+	return &Relation{Schema: p.Out, Parts: out, Single: in.Single}, nil
+}
+
+func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
+	in, err := Run(ctx, f.Input)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out := make([][]value.Row, len(in.Parts))
+	err = ctx.Cluster.Parallel(func(part int) error {
+		var rows []value.Row
+		for _, r := range in.Parts[part] {
+			v, err := f.Pred.Eval(r)
+			if err != nil {
+				return err
+			}
+			if v.Kind == value.KindBool && v.B {
+				rows = append(rows, r)
+			}
+		}
+		out[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Timings.Add("filter", time.Since(start))
+	return &Relation{Schema: f.Schema(), Parts: out, HashKeys: in.HashKeys, Single: in.Single}, nil
+}
+
+func runSort(ctx *Context, s *plan.Sort) (*Relation, error) {
+	in, err := Run(ctx, s.Input)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rows := ctx.Cluster.Gather(in.Parts)
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range s.Keys {
+			c, err := compareForSort(rows[i][k.Col], rows[j][k.Col])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	parts := make([][]value.Row, ctx.Cluster.Partitions())
+	parts[0] = rows
+	ctx.Timings.Add("sort", time.Since(start))
+	return &Relation{Schema: s.Schema(), Parts: parts, Single: true}, nil
+}
+
+// compareForSort orders values with NULLs first.
+func compareForSort(a, b value.Value) (int, error) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, nil
+	case a.IsNull():
+		return -1, nil
+	case b.IsNull():
+		return 1, nil
+	}
+	return a.Compare(b)
+}
+
+func runLimit(ctx *Context, l *plan.Limit) (*Relation, error) {
+	in, err := Run(ctx, l.Input)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rows := ctx.Cluster.Gather(in.Parts)
+	if len(rows) > l.N {
+		rows = rows[:l.N]
+	}
+	parts := make([][]value.Row, ctx.Cluster.Partitions())
+	parts[0] = rows
+	ctx.Timings.Add("limit", time.Since(start))
+	return &Relation{Schema: l.Schema(), Parts: parts, Single: true}, nil
+}

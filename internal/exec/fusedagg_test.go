@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"testing"
+
+	"relalg/internal/builtins"
+	"relalg/internal/catalog"
+	"relalg/internal/linalg"
+	"relalg/internal/plan"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+func outerSumCall(t *testing.T) plan.AggCall {
+	t.Helper()
+	spec, _ := builtins.LookupAgg("sum")
+	fn, _ := builtins.Lookup("outer_product")
+	vecT := types.TVector(types.KnownDim(2))
+	input := &plan.Call{
+		Fn:   fn,
+		Args: []plan.Expr{col(0, vecT), col(0, vecT)},
+		T:    types.TMatrix(types.KnownDim(2), types.KnownDim(2)),
+	}
+	return plan.AggCall{Spec: spec, Input: input, T: input.T}
+}
+
+func TestFusedOfDetection(t *testing.T) {
+	call := outerSumCall(t)
+	if fusedOf(call) != fusedOuterSum {
+		t.Fatal("SUM(outer_product) not detected")
+	}
+	// COUNT never fuses.
+	cnt, _ := builtins.LookupAgg("count")
+	if fusedOf(plan.AggCall{Spec: cnt, Input: call.Input}) != fusedNone {
+		t.Fatal("COUNT misfused")
+	}
+	// SUM of a plain column never fuses.
+	sum, _ := builtins.LookupAgg("sum")
+	if fusedOf(plan.AggCall{Spec: sum, Input: col(0, types.TDouble)}) != fusedNone {
+		t.Fatal("plain SUM misfused")
+	}
+	// SUM(matrix_multiply) fuses.
+	mm, _ := builtins.Lookup("matrix_multiply")
+	mcall := &plan.Call{Fn: mm, Args: []plan.Expr{col(0, types.TMatrix(types.UnknownDim, types.UnknownDim)), col(0, types.TMatrix(types.UnknownDim, types.UnknownDim))}}
+	if fusedOf(plan.AggCall{Spec: sum, Input: mcall}) != fusedMatMulSum {
+		t.Fatal("SUM(matrix_multiply) not detected")
+	}
+}
+
+func TestFusedOuterSumMatchesUnfused(t *testing.T) {
+	call := outerSumCall(t)
+	rows := []value.Row{
+		{value.Vector(linalg.VectorOf(1, 2))},
+		{value.Vector(linalg.VectorOf(3, -1))},
+		{value.Vector(linalg.VectorOf(0, 5))},
+	}
+	// Fused path.
+	states := newStates([]plan.AggCall{call}, true)
+	fused, ok := states[0].(*fusedSumState)
+	if !ok {
+		t.Fatalf("state is %T, want fused", states[0])
+	}
+	for _, r := range rows {
+		if err := stepStates(states, []plan.AggCall{call}, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := fused.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unfused reference.
+	ref := call.Spec.New()
+	for _, r := range rows {
+		v, err := call.Input.Eval(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Step(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Mat.EqualApprox(want.Mat, 1e-12) {
+		t.Fatalf("fused %v != unfused %v", got.Mat, want.Mat)
+	}
+}
+
+func TestFusedSumEmptyIsNull(t *testing.T) {
+	call := outerSumCall(t)
+	states := newStates([]plan.AggCall{call}, true)
+	v, err := states[0].Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsNull() {
+		t.Fatalf("empty fused SUM = %v, want NULL", v)
+	}
+}
+
+func TestFusedSumMerge(t *testing.T) {
+	call := outerSumCall(t)
+	a := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	b := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	_ = a.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 0))})
+	_ = b.stepFused(value.Row{value.Vector(linalg.VectorOf(0, 2))})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Final()
+	want, _ := linalg.MatrixFromRows([][]float64{{1, 0}, {0, 4}})
+	if !got.Mat.Equal(want) {
+		t.Fatalf("merged = %v", got.Mat)
+	}
+	// Merging an empty state is a no-op.
+	if err := a.Merge(newStates([]plan.AggCall{call}, true)[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Merging into an empty state adopts the other side.
+	c := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	if err := c.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := c.Final()
+	if !got2.Mat.Equal(want) {
+		t.Fatalf("adopted = %v", got2.Mat)
+	}
+}
+
+func TestFusedSumNullInputsSkipped(t *testing.T) {
+	call := outerSumCall(t)
+	st := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	if err := st.stepFused(value.Row{value.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if st.count != 0 {
+		t.Fatal("null row counted")
+	}
+	if err := st.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 1))}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Final()
+	want, _ := linalg.MatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	if !got.Mat.Equal(want) {
+		t.Fatalf("after null skip = %v", got.Mat)
+	}
+}
+
+func TestFusedSumShapeError(t *testing.T) {
+	call := outerSumCall(t)
+	st := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	_ = st.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 2))})
+	if err := st.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 2, 3))}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// TestProjectionFusionMatchesUnfused compares a fused Project-over-Join with
+// the manually staged equivalent.
+func TestProjectionFusionMatchesUnfused(t *testing.T) {
+	tables := memSource{}
+	ctx := testCtx(tables)
+	tables["l"] = intTable(ctx, 20)
+	tables["r"] = intTable(ctx, 20)
+	l := scanNode("l", 20, catalog.Column{Name: "a", Type: types.TInt}, catalog.Column{Name: "b", Type: types.TInt})
+	r := scanNode("r", 20, catalog.Column{Name: "c", Type: types.TInt}, catalog.Column{Name: "d", Type: types.TInt})
+	join := joinNode(l, r, 0, 0)
+	proj := &plan.Project{
+		Input: join,
+		Exprs: []plan.Expr{
+			&plan.Binary{Op: "+", Kind: plan.BinArith, L: col(1, types.TInt), R: col(3, types.TInt), T: types.TInt},
+		},
+		Out: plan.Schema{{Name: "s", T: types.TInt}},
+	}
+	rel, err := Run(ctx, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema.String() != "(s INTEGER)" {
+		t.Fatalf("fused schema %s", rel.Schema)
+	}
+	var total int64
+	for _, row := range rel.Rows() {
+		if len(row) != 1 {
+			t.Fatalf("row width %d (fusion must emit projected rows)", len(row))
+		}
+		total += row[0].I
+	}
+	// Sum of b+d over the 20 key-matched pairs: 2 * sum(i%5 for i<20).
+	want := int64(2 * (0 + 1 + 2 + 3 + 4) * 4)
+	if total != want {
+		t.Fatalf("total %d, want %d", total, want)
+	}
+}
+
+func TestFusedSumStepUnfusedPath(t *testing.T) {
+	// The generic Step path (fed pre-computed matrices) must agree with
+	// stepFused; the distributed merge path can deliver values this way.
+	call := outerSumCall(t)
+	st := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	if err := st.Step(value.Null()); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := linalg.MatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	m2, _ := linalg.MatrixFromRows([][]float64{{0, 2}, {3, 0}})
+	if err := st.Step(value.Matrix(m1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Step(value.Matrix(m2)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Final()
+	want, _ := linalg.MatrixFromRows([][]float64{{1, 2}, {3, 1}})
+	if !got.Mat.Equal(want) {
+		t.Fatalf("step path sum = %v", got.Mat)
+	}
+	if err := st.Step(value.Int(1)); err == nil {
+		t.Fatal("non-matrix Step accepted")
+	}
+	// Step must not mutate its first input (it clones).
+	fresh := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	_ = fresh.Step(value.Matrix(m1))
+	_ = fresh.Step(value.Matrix(m2))
+	if m1.At(0, 1) != 0 {
+		t.Fatal("Step aliased its first input")
+	}
+	// Merging with a foreign state type errors.
+	sum, _ := builtins.LookupAgg("sum")
+	if err := fresh.Merge(sum.New()); err == nil {
+		t.Fatal("merge with plain sum state accepted")
+	}
+}
+
+func TestFusedMatMulSum(t *testing.T) {
+	spec, _ := builtins.LookupAgg("sum")
+	mm, _ := builtins.Lookup("matrix_multiply")
+	mt := types.TMatrix(types.KnownDim(2), types.KnownDim(2))
+	call := plan.AggCall{
+		Spec:  spec,
+		Input: &plan.Call{Fn: mm, Args: []plan.Expr{col(0, mt), col(1, mt)}, T: mt},
+		T:     mt,
+	}
+	st := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
+	id := linalg.Identity(2)
+	two := id.Scale(2)
+	if err := st.stepFused(value.Row{value.Matrix(id), value.Matrix(two)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.stepFused(value.Row{value.Matrix(two), value.Matrix(two)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Final()
+	if !got.Mat.Equal(id.Scale(6)) {
+		t.Fatalf("fused matmul sum = %v", got.Mat)
+	}
+	// Kind errors.
+	if err := st.stepFused(value.Row{value.Int(1), value.Matrix(id)}); err == nil {
+		t.Fatal("non-matrix operand accepted")
+	}
+}
+
+func TestValsEqualCornerCases(t *testing.T) {
+	if valsEqual([]value.Value{value.Int(1)}, []value.Value{value.Int(1), value.Int(2)}) {
+		t.Fatal("length mismatch equal")
+	}
+	if !valsEqual([]value.Value{value.Null()}, []value.Value{value.Null()}) {
+		t.Fatal("NULL group keys must match")
+	}
+	if valsEqual([]value.Value{value.String_("a")}, []value.Value{value.String_("b")}) {
+		t.Fatal("different strings equal")
+	}
+	if !valsEqual([]value.Value{value.Int(2)}, []value.Value{value.Double(2)}) {
+		t.Fatal("numeric cross-kind keys must match")
+	}
+}
+
+func TestCompareForSortNulls(t *testing.T) {
+	if c, err := compareForSort(value.Null(), value.Null()); err != nil || c != 0 {
+		t.Fatalf("null/null = %d, %v", c, err)
+	}
+	if c, err := compareForSort(value.Null(), value.Int(1)); err != nil || c != -1 {
+		t.Fatalf("null/1 = %d, %v", c, err)
+	}
+	if c, err := compareForSort(value.Int(1), value.Null()); err != nil || c != 1 {
+		t.Fatalf("1/null = %d, %v", c, err)
+	}
+	if c, err := compareForSort(value.Int(1), value.Int(2)); err != nil || c != -1 {
+		t.Fatalf("1/2 = %d, %v", c, err)
+	}
+}

@@ -1,0 +1,366 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"relalg/internal/plan"
+	"relalg/internal/value"
+)
+
+// keyStrings renders join/group key expressions for partitioning-property
+// comparison.
+func keyStrings(keys []plan.Expr) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k.String()
+	}
+	return out
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalKeys evaluates key expressions against a row.
+func evalKeys(keys []plan.Expr, row value.Row) ([]value.Value, error) {
+	out := make([]value.Value, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func hashVals(vals []value.Value) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range vals {
+		h ^= v.Hash()
+		h *= prime64
+	}
+	return h
+}
+
+// valsEqual compares key tuples with SQL semantics (numeric kinds compare by
+// value; NULL equals NULL for grouping purposes).
+func valsEqual(a, b []value.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].IsNumeric() && b[i].IsNumeric() {
+			x, _ := a[i].AsDouble()
+			y, _ := b[i].AsDouble()
+			if x != y {
+				return false
+			}
+			continue
+		}
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// projectSpec is a projection fused into a join: each surviving
+// concatenated row is transformed through exprs before materializing.
+type projectSpec struct {
+	exprs []plan.Expr
+	out   plan.Schema
+}
+
+// emit applies the fused projection (if any) to a concatenated row.
+func (p *projectSpec) emit(concat value.Row) (value.Row, error) {
+	if p == nil {
+		return concat, nil
+	}
+	out := make(value.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.Eval(concat)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func runJoin(ctx *Context, j *plan.Join) (*Relation, error) {
+	return runJoinWith(ctx, j, nil)
+}
+
+func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, error) {
+	left, err := Run(ctx, j.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Run(ctx, j.R)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	lkeyStr := keyStrings(j.LKeys)
+	rkeyStr := keyStrings(j.RKeys)
+
+	// Shuffle each side unless it is already hash-partitioned on its join
+	// keys (or everything is on a single partition already).
+	lparts := left.Parts
+	if !left.Single && !sameKeys(left.HashKeys, lkeyStr) {
+		lparts, err = shuffleByKeys(ctx, left.Parts, j.LKeys)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rparts := right.Parts
+	bothSingle := left.Single && right.Single
+	if !bothSingle {
+		if left.Single {
+			// The left side lives on one partition; bring the right side
+			// there rather than shuffling (cheaper for tiny left sides is
+			// the reverse, but correctness first: co-locate on partitions).
+			lparts, err = shuffleByKeys(ctx, left.Parts, j.LKeys)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !sameKeys(right.HashKeys, rkeyStr) || right.Single {
+			rparts, err = shuffleByKeys(ctx, right.Parts, j.RKeys)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := make([][]value.Row, ctx.Cluster.Partitions())
+	err = ctx.Cluster.Parallel(func(part int) error {
+		// Build on the smaller side of this partition.
+		lrows, rrows := lparts[part], rparts[part]
+		buildLeft := len(lrows) <= len(rrows)
+
+		type bucket struct {
+			keys []value.Value
+			row  value.Row
+		}
+		table := map[uint64][]bucket{}
+		buildRows, probeRows := lrows, rrows
+		buildKeys, probeKeys := j.LKeys, j.RKeys
+		if !buildLeft {
+			buildRows, probeRows = rrows, lrows
+			buildKeys, probeKeys = j.RKeys, j.LKeys
+		}
+		for _, r := range buildRows {
+			kv, err := evalKeys(buildKeys, r)
+			if err != nil {
+				return err
+			}
+			h := hashVals(kv)
+			table[h] = append(table[h], bucket{keys: kv, row: r})
+		}
+		var rows []value.Row
+		charge := newCharger(ctx)
+		for _, pr := range probeRows {
+			kv, err := evalKeys(probeKeys, pr)
+			if err != nil {
+				return err
+			}
+			for _, b := range table[hashVals(kv)] {
+				if !valsEqual(kv, b.keys) {
+					continue
+				}
+				nr := make(value.Row, 0, len(j.Out))
+				if buildLeft {
+					nr = append(nr, b.row...)
+					nr = append(nr, pr...)
+				} else {
+					nr = append(nr, pr...)
+					nr = append(nr, b.row...)
+				}
+				keep := true
+				for _, res := range j.Residual {
+					v, err := res.Eval(nr)
+					if err != nil {
+						return err
+					}
+					if !(v.Kind == value.KindBool && v.B) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					emitted, err := proj.emit(nr)
+					if err != nil {
+						return err
+					}
+					rows = append(rows, emitted)
+					if err := charge.tick(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		out[part] = rows
+		return charge.flush()
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Timings.Add("join", time.Since(start))
+	rel := &Relation{Schema: j.Out, Parts: out, HashKeys: lkeyStr}
+	if proj != nil {
+		// The projection invalidates the key-expression column indexes.
+		rel.Schema = proj.out
+		rel.HashKeys = nil
+	}
+	return rel, nil
+}
+
+// charger batches intermediate-tuple accounting so the budget guard fires
+// while a runaway join is still producing, not after it has materialized
+// everything (the mechanism behind the paper's "Fail" entries).
+type charger struct {
+	ctx     *Context
+	pending int64
+}
+
+func newCharger(ctx *Context) *charger { return &charger{ctx: ctx} }
+
+func (c *charger) tick() error {
+	c.pending++
+	if c.pending >= 4096 {
+		return c.flush()
+	}
+	return nil
+}
+
+func (c *charger) flush() error {
+	if c.pending == 0 {
+		return nil
+	}
+	n := c.pending
+	c.pending = 0
+	return c.ctx.Cluster.ChargeTuples(n)
+}
+
+func shuffleByKeys(ctx *Context, parts [][]value.Row, keys []plan.Expr) ([][]value.Row, error) {
+	p := ctx.Cluster.Partitions()
+	// The destination function runs concurrently across source partitions;
+	// record the first evaluation error under a lock.
+	var (
+		mu      sync.Mutex
+		evalErr error
+	)
+	out, err := ctx.Cluster.ShuffleBy(parts, func(r value.Row) int {
+		kv, err := evalKeys(keys, r)
+		if err != nil {
+			mu.Lock()
+			if evalErr == nil {
+				evalErr = err
+			}
+			mu.Unlock()
+			return 0
+		}
+		return int(hashVals(kv) % uint64(p))
+	})
+	if err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+func runCross(ctx *Context, c *plan.Cross) (*Relation, error) {
+	return runCrossWith(ctx, c, nil)
+}
+
+func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, error) {
+	left, err := Run(ctx, c.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Run(ctx, c.R)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Broadcast the smaller side (by rows); the bigger side stays in place.
+	broadcastRight := right.NumRows() <= left.NumRows()
+	var big, small *Relation
+	if broadcastRight {
+		big, small = left, right
+	} else {
+		big, small = right, left
+	}
+	smallParts, err := ctx.Cluster.Broadcast(small.Parts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]value.Row, ctx.Cluster.Partitions())
+	err = ctx.Cluster.Parallel(func(part int) error {
+		var rows []value.Row
+		charge := newCharger(ctx)
+		for _, br := range big.Parts[part] {
+			for _, sr := range smallParts[part] {
+				nr := make(value.Row, 0, len(c.Out))
+				if broadcastRight {
+					nr = append(nr, br...)
+					nr = append(nr, sr...)
+				} else {
+					nr = append(nr, sr...)
+					nr = append(nr, br...)
+				}
+				keep := true
+				for _, res := range c.Residual {
+					v, err := res.Eval(nr)
+					if err != nil {
+						return err
+					}
+					if !(v.Kind == value.KindBool && v.B) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					emitted, err := proj.emit(nr)
+					if err != nil {
+						return err
+					}
+					rows = append(rows, emitted)
+					if err := charge.tick(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		out[part] = rows
+		return charge.flush()
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Timings.Add("join", time.Since(start))
+	rel := &Relation{Schema: c.Out, Parts: out}
+	if proj != nil {
+		rel.Schema = proj.out
+	}
+	return rel, nil
+}

@@ -1,0 +1,551 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 entries.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices, which must share a length.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// RowVector returns a copy of row i as a Vector.
+func (m *Matrix) RowVector(i int) *Vector {
+	return VectorOf(m.Row(i)...)
+}
+
+// ColVector returns a copy of column j as a Vector.
+func (m *Matrix) ColVector(j int) *Vector {
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v.Data[i] = m.Data[i*m.Cols+j]
+	}
+	return v
+}
+
+// Equal reports exact element-wise equality.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, x := range m.Data {
+		if x != n.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports element-wise equality within tol.
+func (m *Matrix) EqualApprox(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, x := range m.Data {
+		if math.Abs(x-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Matrix) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%g", m.At(i, j))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func sameShape(a, b *Matrix, op string) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return fmt.Errorf("%w: %s over matrices %dx%d and %dx%d", ErrShape, op, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return nil
+}
+
+// Add returns m + n element-wise.
+func (m *Matrix) Add(n *Matrix) (*Matrix, error) {
+	if err := sameShape(m, n, "add"); err != nil {
+		return nil, err
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = x + n.Data[i]
+	}
+	return out, nil
+}
+
+// AddInPlace accumulates n into m. Used by the SUM aggregate.
+func (m *Matrix) AddInPlace(n *Matrix) error {
+	if err := sameShape(m, n, "add"); err != nil {
+		return err
+	}
+	for i, x := range n.Data {
+		m.Data[i] += x
+	}
+	return nil
+}
+
+// Sub returns m - n element-wise.
+func (m *Matrix) Sub(n *Matrix) (*Matrix, error) {
+	if err := sameShape(m, n, "subtract"); err != nil {
+		return nil, err
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = x - n.Data[i]
+	}
+	return out, nil
+}
+
+// Hadamard returns the element-wise product m ⊙ n (SQL operator *).
+func (m *Matrix) Hadamard(n *Matrix) (*Matrix, error) {
+	if err := sameShape(m, n, "multiply"); err != nil {
+		return nil, err
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = x * n.Data[i]
+	}
+	return out, nil
+}
+
+// Div returns the element-wise quotient m / n.
+func (m *Matrix) Div(n *Matrix) (*Matrix, error) {
+	if err := sameShape(m, n, "divide"); err != nil {
+		return nil, err
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = x / n.Data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s * m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = x * s
+	}
+	return out
+}
+
+// ScaleAdd returns m + s element-wise (scalar broadcast).
+func (m *Matrix) ScaleAdd(s float64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = x + s
+	}
+	return out
+}
+
+// ScaleDiv returns m / s element-wise.
+func (m *Matrix) ScaleDiv(s float64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = x / s
+	}
+	return out
+}
+
+// ScaleRDiv returns s / m element-wise (scalar on the left).
+func (m *Matrix) ScaleRDiv(s float64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = s / x
+	}
+	return out
+}
+
+// ScaleRSub returns s - m element-wise (scalar on the left).
+func (m *Matrix) ScaleRSub(s float64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = s - x
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	// Blocked transpose for cache friendliness on large matrices.
+	const bs = 64
+	for i0 := 0; i0 < m.Rows; i0 += bs {
+		imax := min(i0+bs, m.Rows)
+		for j0 := 0; j0 < m.Cols; j0 += bs {
+			jmax := min(j0+bs, m.Cols)
+			for i := i0; i < imax; i++ {
+				for j := j0; j < jmax; j++ {
+					out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulMat returns the matrix product m · n.
+func (m *Matrix) MulMat(n *Matrix) (*Matrix, error) {
+	if m.Cols != n.Rows {
+		return nil, fmt.Errorf("%w: matrix_multiply %dx%d by %dx%d", ErrShape, m.Rows, m.Cols, n.Rows, n.Cols)
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	m.mulMatInto(out, n)
+	return out, nil
+}
+
+// MulMatAddInto accumulates m · n into dst (dst must be m.Rows × n.Cols).
+// This is the kernel behind SUM(matrix_multiply(a, b)) in blocked plans.
+func (m *Matrix) MulMatAddInto(dst, n *Matrix) error {
+	if m.Cols != n.Rows {
+		return fmt.Errorf("%w: matrix_multiply %dx%d by %dx%d", ErrShape, m.Rows, m.Cols, n.Rows, n.Cols)
+	}
+	if dst.Rows != m.Rows || dst.Cols != n.Cols {
+		return fmt.Errorf("%w: accumulate %dx%d into %dx%d", ErrShape, m.Rows, n.Cols, dst.Rows, dst.Cols)
+	}
+	m.mulMatInto(dst, n)
+	return nil
+}
+
+// mulMatInto accumulates m·n into out using an ikj loop order, which streams
+// both n and out row-wise (cache friendly) and vectorizes well.
+func (m *Matrix) mulMatInto(out, n *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
+			for j, b := range nrow {
+				orow[j] += a * b
+			}
+		}
+	}
+}
+
+// MulVec returns m · v, treating v as a column vector.
+func (m *Matrix) MulVec(v *Vector) (*Vector, error) {
+	if m.Cols != v.Len() {
+		return nil, fmt.Errorf("%w: matrix_vector_multiply %dx%d by vector of length %d", ErrShape, m.Rows, m.Cols, v.Len())
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, a := range row {
+			s += a * v.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out, nil
+}
+
+// VecMul returns vᵀ · m, treating v as a row vector.
+func (m *Matrix) VecMul(v *Vector) (*Vector, error) {
+	if m.Rows != v.Len() {
+		return nil, fmt.Errorf("%w: vector_matrix_multiply vector of length %d by %dx%d", ErrShape, v.Len(), m.Rows, m.Cols)
+	}
+	out := NewVector(m.Cols)
+	for i, a := range v.Data {
+		if a == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, b := range row {
+			out.Data[j] += a * b
+		}
+	}
+	return out, nil
+}
+
+// Diag returns the main diagonal of a square matrix.
+func (m *Matrix) Diag() (*Vector, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: diag of non-square %dx%d matrix", ErrShape, m.Rows, m.Cols)
+	}
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v.Data[i] = m.At(i, i)
+	}
+	return v, nil
+}
+
+// DiagMatrix returns the square matrix with v on the main diagonal.
+func DiagMatrix(v *Vector) *Matrix {
+	m := NewMatrix(v.Len(), v.Len())
+	for i, x := range v.Data {
+		m.Set(i, i, x)
+	}
+	return m
+}
+
+// Trace returns the sum of the main diagonal of a square matrix.
+func (m *Matrix) Trace() (float64, error) {
+	if m.Rows != m.Cols {
+		return 0, fmt.Errorf("%w: trace of non-square %dx%d matrix", ErrShape, m.Rows, m.Cols)
+	}
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.At(i, i)
+	}
+	return s, nil
+}
+
+// Inverse returns m⁻¹ computed by Gauss-Jordan elimination with partial
+// pivoting. It returns an error for non-square or (numerically) singular
+// input.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: inverse of non-square %dx%d matrix", ErrShape, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |a[r][col]| for r >= col.
+		pivot, pmax := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a.At(r, col)); abs > pmax {
+				pivot, pmax = r, abs
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("linalg: matrix_inverse of singular matrix (pivot %d)", col)
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		p := a.At(col, col)
+		scaleRow(a, col, 1/p)
+		scaleRow(inv, col, 1/p)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			axpyRow(a, r, col, -f)
+			axpyRow(inv, r, col, -f)
+		}
+	}
+	return inv, nil
+}
+
+// Solve returns x with m·x = b via the inverse path. b is treated as a column
+// vector. Intended for the small normal-equation systems in the examples.
+func (m *Matrix) Solve(b *Vector) (*Vector, error) {
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	return inv.MulVec(b)
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func scaleRow(m *Matrix, i int, s float64) {
+	r := m.Row(i)
+	for k := range r {
+		r[k] *= s
+	}
+}
+
+// axpyRow adds f * row[src] to row[dst].
+func axpyRow(m *Matrix, dst, src int, f float64) {
+	rd, rs := m.Row(dst), m.Row(src)
+	for k := range rd {
+		rd[k] += f * rs[k]
+	}
+}
+
+// Sum returns the sum of all entries.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += x
+	}
+	return s
+}
+
+// Min returns the minimum entry; +Inf for the empty matrix.
+func (m *Matrix) Min() float64 {
+	s := math.Inf(1)
+	for _, x := range m.Data {
+		if x < s {
+			s = x
+		}
+	}
+	return s
+}
+
+// Max returns the maximum entry; -Inf for the empty matrix.
+func (m *Matrix) Max() float64 {
+	s := math.Inf(-1)
+	for _, x := range m.Data {
+		if x > s {
+			s = x
+		}
+	}
+	return s
+}
+
+// RowMins returns the per-row minimum (SystemML's rowMins).
+func (m *Matrix) RowMins() *Vector {
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := math.Inf(1)
+		for _, x := range row {
+			if x < s {
+				s = x
+			}
+		}
+		v.Data[i] = s
+	}
+	return v
+}
+
+// RowMaxs returns the per-row maximum.
+func (m *Matrix) RowMaxs() *Vector {
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := math.Inf(-1)
+		for _, x := range row {
+			if x > s {
+				s = x
+			}
+		}
+		v.Data[i] = s
+	}
+	return v
+}
+
+// RowSums returns the per-row sum.
+func (m *Matrix) RowSums() *Vector {
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, x := range m.Row(i) {
+			s += x
+		}
+		v.Data[i] = s
+	}
+	return v
+}
+
+// ColSums returns the per-column sum.
+func (m *Matrix) ColSums() *Vector {
+	v := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range row {
+			v.Data[j] += x
+		}
+	}
+	return v
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// SubMatrix returns the copy of rows [r0,r1) and columns [c0,c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) (*Matrix, error) {
+	if r0 < 0 || c0 < 0 || r1 > m.Rows || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		return nil, fmt.Errorf("%w: submatrix [%d:%d, %d:%d] of %dx%d", ErrShape, r0, r1, c0, c1, m.Rows, m.Cols)
+	}
+	out := NewMatrix(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.Row(i-r0), m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return out, nil
+}
+
+// SetSubMatrix copies src into m starting at (r0, c0).
+func (m *Matrix) SetSubMatrix(r0, c0 int, src *Matrix) error {
+	if r0 < 0 || c0 < 0 || r0+src.Rows > m.Rows || c0+src.Cols > m.Cols {
+		return fmt.Errorf("%w: set submatrix %dx%d at (%d,%d) of %dx%d", ErrShape, src.Rows, src.Cols, r0, c0, m.Rows, m.Cols)
+	}
+	for i := 0; i < src.Rows; i++ {
+		copy(m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+src.Cols], src.Row(i))
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := MatrixFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g", m.At(1, 0))
+	}
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Fatalf("after Set, At(1,0) = %g", m.At(1, 0))
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+	if got := mustMatrix(t, [][]float64{{1, 2}, {3, 4}}).String(); got != "[1 2; 3 4]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("error = %v, want ErrShape", err)
+	}
+	m, err := MatrixFromRows(nil)
+	if err != nil || m.Rows != 0 {
+		t.Fatalf("empty MatrixFromRows = %v, %v", m, err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixElementwise(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustMatrix(t, [][]float64{{5, 6}, {7, 8}})
+
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(mustMatrix(t, [][]float64{{6, 8}, {10, 12}})) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(mustMatrix(t, [][]float64{{4, 4}, {4, 4}})) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	had, err := a.Hadamard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !had.Equal(mustMatrix(t, [][]float64{{5, 12}, {21, 32}})) {
+		t.Fatalf("Hadamard = %v", had)
+	}
+	quot, err := b.Div(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quot.Equal(mustMatrix(t, [][]float64{{5, 3}, {7.0 / 3.0, 2}})) {
+		t.Fatalf("Div = %v", quot)
+	}
+}
+
+func TestMatrixShapeErrors(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 3)
+	ops := []func() error{
+		func() error { _, err := a.Add(b); return err },
+		func() error { _, err := a.Sub(b); return err },
+		func() error { _, err := a.Hadamard(b); return err },
+		func() error { _, err := a.Div(b); return err },
+		func() error { return a.AddInPlace(b) },
+		func() error { _, err := b.Diag(); return err },
+		func() error { _, err := b.Trace(); return err },
+		func() error { _, err := b.Inverse(); return err },
+		func() error { _, err := a.MulMat(NewMatrix(3, 2)); return err },
+		func() error { _, err := a.MulVec(NewVector(3)); return err },
+		func() error { _, err := a.VecMul(NewVector(3)); return err },
+	}
+	for i, op := range ops {
+		if err := op(); !errors.Is(err, ErrShape) {
+			t.Errorf("op %d: error = %v, want ErrShape", i, err)
+		}
+	}
+}
+
+func TestMatrixScalarOps(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{2, 4}})
+	if got := m.Scale(2); !got.Equal(mustMatrix(t, [][]float64{{4, 8}})) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := m.ScaleAdd(1); !got.Equal(mustMatrix(t, [][]float64{{3, 5}})) {
+		t.Fatalf("ScaleAdd = %v", got)
+	}
+	if got := m.ScaleDiv(2); !got.Equal(mustMatrix(t, [][]float64{{1, 2}})) {
+		t.Fatalf("ScaleDiv = %v", got)
+	}
+	if got := m.ScaleRDiv(8); !got.Equal(mustMatrix(t, [][]float64{{4, 2}})) {
+		t.Fatalf("ScaleRDiv = %v", got)
+	}
+	if got := m.ScaleRSub(5); !got.Equal(mustMatrix(t, [][]float64{{3, 1}})) {
+		t.Fatalf("ScaleRSub = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.Transpose()
+	want := mustMatrix(t, [][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !mt.Equal(want) {
+		t.Fatalf("Transpose = %v", mt)
+	}
+	if !mt.Transpose().Equal(m) {
+		t.Fatal("transpose is not an involution")
+	}
+}
+
+func TestMulMat(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustMatrix(t, [][]float64{{5, 6}, {7, 8}})
+	p, err := a.MulMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustMatrix(t, [][]float64{{19, 22}, {43, 50}})
+	if !p.Equal(want) {
+		t.Fatalf("MulMat = %v", p)
+	}
+	// Identity neutrality.
+	id := Identity(2)
+	left, _ := id.MulMat(a)
+	right, _ := a.MulMat(id)
+	if !left.Equal(a) || !right.Equal(a) {
+		t.Fatal("identity is not neutral")
+	}
+}
+
+func TestMulMatAddInto(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 0}, {0, 1}})
+	dst := NewMatrix(2, 2)
+	if err := a.MulMatAddInto(dst, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MulMatAddInto(dst, a); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(Identity(2).Scale(2)) {
+		t.Fatalf("accumulated = %v", dst)
+	}
+	if err := a.MulMatAddInto(NewMatrix(3, 3), a); !errors.Is(err, ErrShape) {
+		t.Fatalf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := VectorOf(1, 1, 1)
+	mv, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Equal(VectorOf(6, 15)) {
+		t.Fatalf("MulVec = %v", mv)
+	}
+	u := VectorOf(1, 1)
+	um, err := m.VecMul(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !um.Equal(VectorOf(5, 7, 9)) {
+		t.Fatalf("VecMul = %v", um)
+	}
+}
+
+func TestDiagTraceDiagMatrix(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 9}, {8, 4}})
+	d, err := m.Diag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(VectorOf(1, 4)) {
+		t.Fatalf("Diag = %v", d)
+	}
+	tr, err := m.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != 5 {
+		t.Fatalf("Trace = %g", tr)
+	}
+	dm := DiagMatrix(VectorOf(2, 3))
+	if !dm.Equal(mustMatrix(t, [][]float64{{2, 0}, {0, 3}})) {
+		t.Fatalf("DiagMatrix = %v", dm)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{4, 7}, {2, 6}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := m.MulMat(inv)
+	if !prod.EqualApprox(Identity(2), 1e-12) {
+		t.Fatalf("m * inv = %v", prod)
+	}
+	// Needs pivoting: zero on the initial diagonal.
+	p := mustMatrix(t, [][]float64{{0, 1}, {1, 0}})
+	pinv, err := p.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pinv.Equal(p) {
+		t.Fatalf("permutation inverse = %v", pinv)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("inverse of singular matrix succeeded")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{2, 0}, {0, 4}})
+	x, err := m.Solve(VectorOf(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.EqualApprox(VectorOf(1, 2), 1e-12) {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestMatrixReductions(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, -2}, {3, 4}})
+	if s := m.Sum(); s != 6 {
+		t.Fatalf("Sum = %g", s)
+	}
+	if v := m.Min(); v != -2 {
+		t.Fatalf("Min = %g", v)
+	}
+	if v := m.Max(); v != 4 {
+		t.Fatalf("Max = %g", v)
+	}
+	if !m.RowMins().Equal(VectorOf(-2, 3)) {
+		t.Fatalf("RowMins = %v", m.RowMins())
+	}
+	if !m.RowMaxs().Equal(VectorOf(1, 4)) {
+		t.Fatalf("RowMaxs = %v", m.RowMaxs())
+	}
+	if !m.RowSums().Equal(VectorOf(-1, 7)) {
+		t.Fatalf("RowSums = %v", m.RowSums())
+	}
+	if !m.ColSums().Equal(VectorOf(4, 2)) {
+		t.Fatalf("ColSums = %v", m.ColSums())
+	}
+	if n := mustMatrix(t, [][]float64{{3, 4}}).Norm2(); n != 5 {
+		t.Fatalf("Norm2 = %g", n)
+	}
+}
+
+func TestRowColVector(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	if !m.RowVector(1).Equal(VectorOf(3, 4)) {
+		t.Fatalf("RowVector = %v", m.RowVector(1))
+	}
+	if !m.ColVector(0).Equal(VectorOf(1, 3)) {
+		t.Fatalf("ColVector = %v", m.ColVector(0))
+	}
+	// RowVector must copy.
+	rv := m.RowVector(0)
+	rv.Set(0, 42)
+	if m.At(0, 0) == 42 {
+		t.Fatal("RowVector shares storage")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s, err := m.SubMatrix(1, 3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(mustMatrix(t, [][]float64{{4, 5}, {7, 8}})) {
+		t.Fatalf("SubMatrix = %v", s)
+	}
+	if _, err := m.SubMatrix(0, 4, 0, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("error = %v, want ErrShape", err)
+	}
+	dst := NewMatrix(3, 3)
+	if err := dst.SetSubMatrix(1, 1, mustMatrix(t, [][]float64{{1, 2}, {3, 4}})); err != nil {
+		t.Fatal(err)
+	}
+	if dst.At(2, 2) != 4 || dst.At(1, 1) != 1 || dst.At(0, 0) != 0 {
+		t.Fatalf("SetSubMatrix = %v", dst)
+	}
+	if err := dst.SetSubMatrix(2, 2, NewMatrix(2, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestParallelMulMatMatchesSerial(t *testing.T) {
+	const n = 70
+	a := NewMatrix(n, n)
+	b := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = float64(i%13) - 6
+		b.Data[i] = float64(i%7) - 3
+	}
+	serial, err := a.MulMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 128} {
+		par, err := ParallelMulMat(a, b, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.EqualApprox(serial, 1e-9) {
+			t.Fatalf("workers=%d: parallel result differs", workers)
+		}
+	}
+	if _, err := ParallelMulMat(NewMatrix(2, 3), NewMatrix(2, 3), 2); !errors.Is(err, ErrShape) {
+		t.Fatalf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestEqualApproxMatrix(t *testing.T) {
+	a := Identity(2)
+	b := Identity(2)
+	b.Data[0] += 1e-13
+	if !a.EqualApprox(b, 1e-9) {
+		t.Fatal("EqualApprox rejected tiny difference")
+	}
+	if a.EqualApprox(NewMatrix(2, 3), 1) {
+		t.Fatal("EqualApprox accepted different shape")
+	}
+}
+
+func TestNormsNonNegative(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{-3, 0}, {0, -4}})
+	if m.Norm2() != 5 {
+		t.Fatalf("Norm2 = %g", m.Norm2())
+	}
+	if math.Signbit(m.Norm2()) {
+		t.Fatal("negative norm")
+	}
+}

@@ -1,0 +1,45 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ParallelMulMat computes m · n splitting the rows of m across workers
+// goroutines. workers <= 0 selects GOMAXPROCS. For small products it falls
+// back to the serial kernel (goroutine fan-out costs more than it saves).
+func ParallelMulMat(m, n *Matrix, workers int) (*Matrix, error) {
+	if m.Cols != n.Rows {
+		return nil, fmt.Errorf("%w: matrix_multiply %dx%d by %dx%d", ErrShape, m.Rows, m.Cols, n.Rows, n.Cols)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const serialThreshold = 1 << 18 // ~256k multiply-adds
+	if workers == 1 || m.Rows*m.Cols*n.Cols < serialThreshold {
+		return m.MulMat(n)
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sub := &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+			dst := &Matrix{Rows: hi - lo, Cols: out.Cols, Data: out.Data[lo*out.Cols : hi*out.Cols]}
+			sub.mulMatInto(dst, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genVec draws a bounded random vector so products stay well-conditioned.
+func genVec(r *rand.Rand, n int) *Vector {
+	v := NewVector(n)
+	for i := range v.Data {
+		v.Data[i] = r.Float64()*10 - 5
+	}
+	return v
+}
+
+func genMat(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Float64()*10 - 5
+	}
+	return m
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 60}
+}
+
+func TestPropAddCommutes(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		a, b := genVec(r, n), genVec(r, n)
+		ab, _ := a.Add(b)
+		ba, _ := b.Add(a)
+		return ab.EqualApprox(ba, 1e-12)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDotSymmetric(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		a, b := genVec(r, n), genVec(r, n)
+		x, _ := a.Dot(b)
+		y, _ := b.Dot(a)
+		return math.Abs(x-y) < 1e-9
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := int(rRaw%20)+1, int(cRaw%20)+1
+		m := genMat(rng, rows, cols)
+		return m.Transpose().Transpose().Equal(m)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulAssociative(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw, cRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q, r, s := int(aRaw%6)+1, int(bRaw%6)+1, int(cRaw%6)+1, int(dRaw%6)+1
+		A := genMat(rng, p, q)
+		B := genMat(rng, q, r)
+		C := genMat(rng, r, s)
+		AB, _ := A.MulMat(B)
+		ABC1, _ := AB.MulMat(C)
+		BC, _ := B.MulMat(C)
+		ABC2, _ := A.MulMat(BC)
+		return ABC1.EqualApprox(ABC2, 1e-6)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulDistributes(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := int(aRaw%8)+1, int(bRaw%8)+1
+		A := genMat(rng, p, q)
+		B := genMat(rng, q, p)
+		C := genMat(rng, q, p)
+		BC, _ := B.Add(C)
+		lhs, _ := A.MulMat(BC)
+		AB, _ := A.MulMat(B)
+		AC, _ := A.MulMat(C)
+		rhs, _ := AB.Add(AC)
+		return lhs.EqualApprox(rhs, 1e-8)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTransposeOfProduct(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q, r := int(aRaw%8)+1, int(bRaw%8)+1, int(cRaw%8)+1
+		A := genMat(rng, p, q)
+		B := genMat(rng, q, r)
+		AB, _ := A.MulMat(B)
+		lhs := AB.Transpose()
+		rhs, _ := B.Transpose().MulMat(A.Transpose())
+		return lhs.EqualApprox(rhs, 1e-8)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropInverseRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%6) + 1
+		// Diagonally dominant matrices are comfortably invertible.
+		m := genMat(rng, n, n)
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float64(10*n))
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		prod, _ := m.MulMat(inv)
+		return prod.EqualApprox(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropOuterMatchesMulMat(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := int(aRaw%10)+1, int(bRaw%10)+1
+		v, w := genVec(rng, p), genVec(rng, q)
+		outer := v.Outer(w)
+		viaMat, _ := v.AsColMatrix().MulMat(w.AsRowMatrix())
+		return outer.EqualApprox(viaMat, 1e-10)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulVecMatchesMulMat(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := int(aRaw%10)+1, int(bRaw%10)+1
+		m := genMat(rng, p, q)
+		v := genVec(rng, q)
+		mv, _ := m.MulVec(v)
+		asMat, _ := m.MulMat(v.AsColMatrix())
+		return mv.EqualApprox(asMat.ColVector(0), 1e-9)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropGramSymmetricPSD(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := int(nRaw%12)+1, int(dRaw%8)+1
+		X := genMat(rng, n, d)
+		G, _ := X.Transpose().MulMat(X)
+		// Symmetry.
+		if !G.EqualApprox(G.Transpose(), 1e-9) {
+			return false
+		}
+		// PSD check via random quadratic forms.
+		for trial := 0; trial < 4; trial++ {
+			v := genVec(rng, d)
+			gv, _ := G.MulVec(v)
+			q, _ := v.Dot(gv)
+			if q < -1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"relalg/internal/catalog"
+	"relalg/internal/plan"
+	"relalg/internal/sqlparse"
+	"relalg/internal/types"
+)
+
+// paperCatalog builds the §4.1 schema:
+//
+//	R (r_rid INTEGER, r_matrix MATRIX[10][100000])   -- 100 rows
+//	S (s_sid INTEGER, s_matrix MATRIX[100000][100])  -- 100 rows
+//	T (t_rid INTEGER, t_sid INTEGER)                 -- 1000 rows
+func paperCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	add := func(name string, rows int64, cols ...catalog.Column) {
+		t.Helper()
+		meta := &catalog.TableMeta{Name: name, Schema: catalog.Schema{Cols: cols}, RowCount: rows}
+		if err := cat.CreateTable(meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("r", 100,
+		catalog.Column{Name: "r_rid", Type: types.TInt},
+		catalog.Column{Name: "r_matrix", Type: types.TMatrix(types.KnownDim(10), types.KnownDim(100000))})
+	add("s", 100,
+		catalog.Column{Name: "s_sid", Type: types.TInt},
+		catalog.Column{Name: "s_matrix", Type: types.TMatrix(types.KnownDim(100000), types.KnownDim(100))})
+	add("t", 1000,
+		catalog.Column{Name: "t_rid", Type: types.TInt},
+		catalog.Column{Name: "t_sid", Type: types.TInt})
+	cat.SetDistinct("r", "r_rid", 100)
+	cat.SetDistinct("s", "s_sid", 100)
+	cat.SetDistinct("t", "t_rid", 100)
+	cat.SetDistinct("t", "t_sid", 100)
+	return cat
+}
+
+func optimize(t *testing.T, cat *catalog.Catalog, src string, opts Options) plan.Node {
+	t.Helper()
+	stmt, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical, err := plan.NewBuilder(cat).BuildSelect(stmt.(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, err := New(opts).Optimize(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return optimized
+}
+
+const paperQuery = `SELECT matrix_multiply(r_matrix, s_matrix) AS product
+	FROM r, s, t
+	WHERE r_rid = t_rid AND s_sid = t_sid`
+
+// TestOptimizerPaperExample reproduces §4.1: with LA-aware costing and eager
+// projection the optimizer must choose (π(S × R)) ⋈ T — a cross product of
+// the two matrix tables with the multiply applied early — over the
+// "obvious" π((S ⋈ T) ⋈ R) plan that drags 80 GB of matrices through the
+// join.
+func TestOptimizerPaperExample(t *testing.T) {
+	cat := paperCatalog(t)
+	n := optimize(t, cat, paperQuery, DefaultOptions())
+	text := plan.Explain(n)
+
+	// The winning plan contains a cross join of r and s with the
+	// matrix_multiply computed in a projection below the join with t.
+	if !strings.Contains(text, "CrossJoin") {
+		t.Fatalf("expected a CrossJoin of r and s; plan:\n%s", text)
+	}
+	// The eager projection must appear below the top-level projection:
+	// matrix_multiply evaluated inside the tree, not at the root, whose own
+	// expression list is just a column reference to the precomputed result.
+	lines := strings.Split(text, "\n")
+	if strings.Contains(lines[0], "matrix_multiply") {
+		t.Fatalf("matrix_multiply still evaluated at the root:\n%s", text)
+	}
+	if !strings.Contains(text, "matrix_multiply") {
+		t.Fatalf("matrix_multiply missing from plan:\n%s", text)
+	}
+	// It must be computed below the cross join of the two matrix tables.
+	mmLine := strings.Index(text, "matrix_multiply")
+	crossLine := strings.Index(text, "CrossJoin")
+	if mmLine > crossLine {
+		t.Fatalf("matrix_multiply should be projected above the cross join, below the hash join:\n%s", text)
+	}
+	// And t joins against the shrunken intermediate via a hash join.
+	if !strings.Contains(text, "HashJoin") {
+		t.Fatalf("expected HashJoin with t; plan:\n%s", text)
+	}
+}
+
+// TestAblationSizeBlind disables LA-aware costing: with every column
+// costed at a fixed width, the optimizer has no reason to risk a cross
+// product and must fall back to the join-predicate-driven order (the plan
+// the paper calls "almost assuredly" chosen by a size-blind optimizer).
+func TestAblationSizeBlind(t *testing.T) {
+	cat := paperCatalog(t)
+	opts := DefaultOptions()
+	opts.SizeAwareCosting = false
+	n := optimize(t, cat, paperQuery, opts)
+	text := plan.Explain(n)
+	if strings.Contains(text, "CrossJoin") {
+		t.Fatalf("size-blind optimizer chose a cross product; plan:\n%s", text)
+	}
+}
+
+// TestAblationNoEagerProjection disables early function evaluation: the
+// multiply can only run at the root, so the cross-product plan loses its
+// advantage and must not be chosen.
+func TestAblationNoEagerProjection(t *testing.T) {
+	cat := paperCatalog(t)
+	opts := DefaultOptions()
+	opts.EagerProjection = false
+	n := optimize(t, cat, paperQuery, opts)
+	text := plan.Explain(n)
+	if strings.Contains(text, "CrossJoin") {
+		t.Fatalf("without eager projection a cross product should not win; plan:\n%s", text)
+	}
+	// matrix_multiply appears exactly once: in the root projection.
+	if strings.Count(text, "matrix_multiply") != 1 {
+		t.Fatalf("matrix_multiply should only appear at the root; plan:\n%s", text)
+	}
+}
+
+func TestFilterPushdown(t *testing.T) {
+	cat := paperCatalog(t)
+	n := optimize(t, cat, `SELECT t1.t_rid FROM t AS t1, t AS t2 WHERE t1.t_sid = t2.t_sid AND t1.t_rid = 7`, DefaultOptions())
+	text := plan.Explain(n)
+	// The constant filter must sit directly on a scan, below the join.
+	joinLine := strings.Index(text, "HashJoin")
+	filterLine := strings.Index(text, "Filter")
+	if joinLine < 0 || filterLine < 0 || filterLine < joinLine {
+		t.Fatalf("filter not pushed below join:\n%s", text)
+	}
+}
+
+func TestJoinKeysOnExpressions(t *testing.T) {
+	cat := catalog.New()
+	if err := cat.CreateTable(&catalog.TableMeta{
+		Name: "x",
+		Schema: catalog.Schema{Cols: []catalog.Column{
+			{Name: "id", Type: types.TInt},
+			{Name: "v", Type: types.TDouble},
+		}},
+		RowCount: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateTable(&catalog.TableMeta{
+		Name:     "blocks",
+		Schema:   catalog.Schema{Cols: []catalog.Column{{Name: "mi", Type: types.TInt}}},
+		RowCount: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's blocking join: x.id/1000 = ind.mi.
+	n := optimize(t, cat, `SELECT v FROM x, blocks WHERE x.id/100 = blocks.mi`, DefaultOptions())
+	text := plan.Explain(n)
+	if !strings.Contains(text, "HashJoin") {
+		t.Fatalf("expression equi-join should hash join:\n%s", text)
+	}
+}
+
+func TestResidualNonEquiPredicate(t *testing.T) {
+	cat := paperCatalog(t)
+	// The paper's distance query shape: a.dataID <> mxx.id.
+	n := optimize(t, cat, `SELECT t1.t_rid FROM t AS t1, t AS t2 WHERE t1.t_rid <> t2.t_rid`, DefaultOptions())
+	text := plan.Explain(n)
+	if !strings.Contains(text, "CrossJoin") || !strings.Contains(text, "filter [") {
+		t.Fatalf("non-equi predicate should be a residual on a cross join:\n%s", text)
+	}
+}
+
+func TestOptimizeThroughAggregate(t *testing.T) {
+	cat := paperCatalog(t)
+	n := optimize(t, cat, `SELECT t1.t_rid, COUNT(*) FROM t AS t1, t AS t2
+		WHERE t1.t_sid = t2.t_sid GROUP BY t1.t_rid`, DefaultOptions())
+	text := plan.Explain(n)
+	if !strings.Contains(text, "Aggregate") || !strings.Contains(text, "HashJoin") {
+		t.Fatalf("aggregate over join not planned:\n%s", text)
+	}
+}
+
+func TestEstimateRows(t *testing.T) {
+	cat := paperCatalog(t)
+	meta, _ := cat.Table("t")
+	scan := &plan.Scan{Table: meta}
+	if got := EstimateRows(scan); got != 1000 {
+		t.Fatalf("scan rows = %g", got)
+	}
+	if got := EstimateRows(&plan.Limit{Input: scan, N: 10}); got != 10 {
+		t.Fatalf("limit rows = %g", got)
+	}
+	if got := EstimateRows(&plan.Agg{Input: scan}); got != 1 {
+		t.Fatalf("scalar agg rows = %g", got)
+	}
+	if got := EstimateRows(&plan.Cross{L: scan, R: scan}); got != 1e6 {
+		t.Fatalf("cross rows = %g", got)
+	}
+	if got := EstimateRows(&plan.OneRow{}); got != 1 {
+		t.Fatalf("one-row = %g", got)
+	}
+}
+
+func TestIdentityProjectionSkipped(t *testing.T) {
+	cat := paperCatalog(t)
+	// Selecting everything from a two-table join should not stack useless
+	// identity projections above the scans: at most the root projection and
+	// one column-ordering projection above the join.
+	n := optimize(t, cat, `SELECT t1.t_rid, t1.t_sid, t2.t_rid, t2.t_sid
+		FROM t AS t1, t AS t2 WHERE t1.t_sid = t2.t_sid`, DefaultOptions())
+	text := plan.Explain(n)
+	if strings.Count(text, "Project") > 2 {
+		t.Fatalf("extra projections:\n%s", text)
+	}
+}
+
+func TestOptimizePreservesSchema(t *testing.T) {
+	cat := paperCatalog(t)
+	queries := []string{
+		paperQuery,
+		"SELECT t_rid, COUNT(*) FROM t GROUP BY t_rid",
+		"SELECT r_rid FROM r ORDER BY r_rid LIMIT 5",
+		"SELECT t1.t_rid FROM t AS t1, t AS t2 WHERE t1.t_sid = t2.t_sid",
+	}
+	for _, q := range queries {
+		stmt, err := sqlparse.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logical, err := plan.NewBuilder(cat).BuildSelect(stmt.(*sqlparse.Select))
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimized, err := New(DefaultOptions()).Optimize(logical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if logical.Schema().String() != optimized.Schema().String() {
+			t.Fatalf("%q: schema changed from %s to %s", q, logical.Schema(), optimized.Schema())
+		}
+	}
+}
+
+// TestGreedyFallbackBeyondDPBound forces the greedy join-ordering path and
+// checks the plan still answers correctly shaped joins.
+func TestGreedyFallbackBeyondDPBound(t *testing.T) {
+	cat := paperCatalog(t)
+	opts := DefaultOptions()
+	opts.MaxDPRelations = 2 // three relations -> greedy
+	n := optimize(t, cat, paperQuery, opts)
+	text := plan.Explain(n)
+	if !strings.Contains(text, "Join") {
+		t.Fatalf("greedy produced no joins:\n%s", text)
+	}
+	// All three tables must appear exactly once.
+	for _, tbl := range []string{"Scan r", "Scan s", "Scan t"} {
+		if strings.Count(text, tbl) != 1 {
+			t.Fatalf("table %s occurs %d times:\n%s", tbl, strings.Count(text, tbl), text)
+		}
+	}
+	if n.Schema().String() != "(product MATRIX[10][100])" {
+		t.Fatalf("schema %s", n.Schema())
+	}
+}
+
+// TestManyRelationGreedyJoin plans an eight-way self-join through the greedy
+// path end to end.
+func TestManyRelationGreedyJoin(t *testing.T) {
+	cat := paperCatalog(t)
+	opts := DefaultOptions()
+	opts.MaxDPRelations = 3
+	from := "t AS a0"
+	where := ""
+	for i := 1; i < 8; i++ {
+		from += fmt.Sprintf(", t AS a%d", i)
+		if i > 1 {
+			where += " AND "
+		}
+		where += fmt.Sprintf("a%d.t_rid = a%d.t_rid", i-1, i)
+	}
+	q := "SELECT a0.t_sid FROM " + from + " WHERE " + where
+	n := optimize(t, cat, q, opts)
+	if got := strings.Count(plan.Explain(n), "Scan t"); got != 8 {
+		t.Fatalf("expected 8 scans, got %d:\n%s", got, plan.Explain(n))
+	}
+}

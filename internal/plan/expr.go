@@ -1,0 +1,298 @@
+// Package plan performs semantic analysis over parsed SQL — name
+// resolution, type checking with dimension propagation through the templated
+// built-in signatures — and produces the logical plan that internal/opt
+// optimizes and internal/exec runs.
+package plan
+
+import (
+	"fmt"
+
+	"relalg/internal/builtins"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+// Expr is a type-checked expression evaluated against a row of its input
+// relation. Expressions are pure, so the optimizer may move, duplicate, and
+// pre-evaluate them freely.
+type Expr interface {
+	Type() types.T
+	Eval(row value.Row) (value.Value, error)
+	String() string
+	// Walk visits this node and all children.
+	Walk(fn func(Expr))
+}
+
+// Col references a column of the input relation by position.
+type Col struct {
+	Idx  int
+	Name string
+	T    types.T
+}
+
+// Type implements Expr.
+func (c *Col) Type() types.T { return c.T }
+
+// Eval implements Expr.
+func (c *Col) Eval(row value.Row) (value.Value, error) {
+	if c.Idx < 0 || c.Idx >= len(row) {
+		return value.Null(), fmt.Errorf("plan: column index %d out of range for row of %d", c.Idx, len(row))
+	}
+	return row[c.Idx], nil
+}
+
+func (c *Col) String() string     { return fmt.Sprintf("#%d:%s", c.Idx, c.Name) }
+func (c *Col) Walk(fn func(Expr)) { fn(c) }
+
+// Const is a literal value.
+type Const struct {
+	V value.Value
+	T types.T
+}
+
+// Type implements Expr.
+func (c *Const) Type() types.T { return c.T }
+
+// Eval implements Expr.
+func (c *Const) Eval(value.Row) (value.Value, error) { return c.V, nil }
+
+func (c *Const) String() string     { return c.V.String() }
+func (c *Const) Walk(fn func(Expr)) { fn(c) }
+
+// BinKind classifies a Binary expression.
+type BinKind uint8
+
+// Binary expression kinds.
+const (
+	BinArith   BinKind = iota // + - * /
+	BinCompare                // = <> < <= > >=
+	BinLogic                  // AND OR
+)
+
+// Binary is a binary operation with SQL overloading: arithmetic follows the
+// paper's element-wise/broadcast rules, comparisons yield BOOLEAN, and
+// logic is two-valued with NULL treated as FALSE (sufficient for the
+// paper's workloads; documented deviation from three-valued SQL).
+type Binary struct {
+	Op   string
+	Kind BinKind
+	L, R Expr
+	T    types.T
+}
+
+// Type implements Expr.
+func (b *Binary) Type() types.T { return b.T }
+
+// Eval implements Expr.
+func (b *Binary) Eval(row value.Row) (value.Value, error) {
+	l, err := b.L.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	r, err := b.R.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	switch b.Kind {
+	case BinArith:
+		if l.IsNull() || r.IsNull() {
+			return value.Null(), nil
+		}
+		return builtins.Arith(b.Op, l, r)
+	case BinCompare:
+		if l.IsNull() || r.IsNull() {
+			return value.Bool(false), nil
+		}
+		return builtins.Compare(b.Op, l, r)
+	case BinLogic:
+		lb := !l.IsNull() && l.Kind == value.KindBool && l.B
+		rb := !r.IsNull() && r.Kind == value.KindBool && r.B
+		if b.Op == "AND" {
+			return value.Bool(lb && rb), nil
+		}
+		return value.Bool(lb || rb), nil
+	}
+	return value.Null(), fmt.Errorf("plan: unknown binary kind %d", b.Kind)
+}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+func (b *Binary) Walk(fn func(Expr)) {
+	fn(b)
+	b.L.Walk(fn)
+	b.R.Walk(fn)
+}
+
+// Not is logical negation.
+type Not struct {
+	E Expr
+}
+
+// Type implements Expr.
+func (n *Not) Type() types.T { return types.TBool }
+
+// Eval implements Expr.
+func (n *Not) Eval(row value.Row) (value.Value, error) {
+	v, err := n.E.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	b := !v.IsNull() && v.Kind == value.KindBool && v.B
+	return value.Bool(!b), nil
+}
+
+func (n *Not) String() string     { return "NOT " + n.E.String() }
+func (n *Not) Walk(fn func(Expr)) { fn(n); n.E.Walk(fn) }
+
+// Neg is arithmetic negation of a scalar, vector, or matrix.
+type Neg struct {
+	E Expr
+	T types.T
+}
+
+// Type implements Expr.
+func (n *Neg) Type() types.T { return n.T }
+
+// Eval implements Expr.
+func (n *Neg) Eval(row value.Row) (value.Value, error) {
+	v, err := n.E.Eval(row)
+	if err != nil || v.IsNull() {
+		return value.Null(), err
+	}
+	switch v.Kind {
+	case value.KindInt:
+		return value.Int(-v.I), nil
+	case value.KindDouble, value.KindLabeledScalar:
+		return value.Double(-v.D), nil
+	case value.KindVector:
+		return value.Vector(v.Vec.Scale(-1)), nil
+	case value.KindMatrix:
+		return value.Matrix(v.Mat.Scale(-1)), nil
+	}
+	return value.Null(), fmt.Errorf("plan: cannot negate %s", v.Kind)
+}
+
+func (n *Neg) String() string     { return "-" + n.E.String() }
+func (n *Neg) Walk(fn func(Expr)) { fn(n); n.E.Walk(fn) }
+
+// Call invokes a scalar built-in.
+type Call struct {
+	Fn   *builtins.Builtin
+	Args []Expr
+	T    types.T
+}
+
+// Type implements Expr.
+func (c *Call) Type() types.T { return c.T }
+
+// Eval implements Expr.
+func (c *Call) Eval(row value.Row) (value.Value, error) {
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(row)
+		if err != nil {
+			return value.Null(), err
+		}
+		if v.IsNull() {
+			return value.Null(), nil
+		}
+		args[i] = v
+	}
+	return c.Fn.Eval(args)
+}
+
+func (c *Call) String() string {
+	s := c.Fn.Name + "("
+	for i, a := range c.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+func (c *Call) Walk(fn func(Expr)) {
+	fn(c)
+	for _, a := range c.Args {
+		a.Walk(fn)
+	}
+}
+
+// ScalarSubquery is an uncorrelated scalar subquery used as an expression.
+// The engine pre-executes the inner plan and substitutes its single value
+// (NULL for an empty result) before physical execution; reaching Eval means
+// that substitution was skipped.
+type ScalarSubquery struct {
+	Plan Node
+	T    types.T
+}
+
+// Type implements Expr.
+func (s *ScalarSubquery) Type() types.T { return s.T }
+
+// Eval implements Expr.
+func (s *ScalarSubquery) Eval(value.Row) (value.Value, error) {
+	return value.Null(), fmt.Errorf("plan: unresolved scalar subquery reached execution")
+}
+
+func (s *ScalarSubquery) String() string     { return "(subquery)" }
+func (s *ScalarSubquery) Walk(fn func(Expr)) { fn(s) }
+
+// ColsUsed returns the sorted set of column indexes referenced by e.
+func ColsUsed(e Expr) []int {
+	seen := map[int]bool{}
+	e.Walk(func(x Expr) {
+		if c, ok := x.(*Col); ok {
+			seen[c.Idx] = true
+		}
+	})
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Remap returns a copy of e with every column index i replaced by mapping[i].
+// It is how the optimizer rebinds expressions after join reordering and
+// column pruning. A missing mapping is a programming error and panics.
+func Remap(e Expr, mapping map[int]int) Expr {
+	switch x := e.(type) {
+	case *Col:
+		idx, ok := mapping[x.Idx]
+		if !ok {
+			panic(fmt.Sprintf("plan: Remap has no mapping for column %d (%s)", x.Idx, x.Name))
+		}
+		return &Col{Idx: idx, Name: x.Name, T: x.T}
+	case *Const:
+		return x
+	case *Binary:
+		return &Binary{Op: x.Op, Kind: x.Kind, L: Remap(x.L, mapping), R: Remap(x.R, mapping), T: x.T}
+	case *Not:
+		return &Not{E: Remap(x.E, mapping)}
+	case *Neg:
+		return &Neg{E: Remap(x.E, mapping), T: x.T}
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Remap(a, mapping)
+		}
+		return &Call{Fn: x.Fn, Args: args, T: x.T}
+	case *ScalarSubquery:
+		// The inner plan references its own tables, never the outer row.
+		return x
+	}
+	panic(fmt.Sprintf("plan: Remap of unknown expression %T", e))
+}

@@ -1,0 +1,237 @@
+// Package sqlparse implements the lexer, AST, and recursive-descent parser
+// for the paper's extended SQL: standard SELECT-FROM-WHERE-GROUP BY with
+// subqueries in FROM, plus the VECTOR[n] / MATRIX[r][c] / LABELED_SCALAR
+// column types and calls to the linear-algebra built-ins.
+package sqlparse
+
+import (
+	"strings"
+
+	"relalg/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type types.T
+}
+
+// CreateTable is CREATE TABLE name (col TYPE, ...)
+// [PARTITION BY HASH (col)]. A partition column makes the engine store the
+// table hash-partitioned on it, so joins and groupings on that column skip
+// their shuffle (the paper's "R was already partitioned on the join key").
+type CreateTable struct {
+	Name         string
+	Cols         []ColumnDef
+	PartitionCol string // empty: round-robin placement
+}
+
+// CreateTableAs is CREATE TABLE name AS SELECT ... — the engine infers the
+// schema from the query and materializes its result.
+type CreateTableAs struct {
+	Name  string
+	Query *Select
+}
+
+// CreateView is CREATE VIEW name [(col, ...)] AS SELECT ...
+type CreateView struct {
+	Name  string
+	Cols  []string // optional explicit output column names
+	Query *Select
+}
+
+// Insert is INSERT INTO name VALUES (expr, ...), (expr, ...).
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name; it also drops views.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Explain wraps a statement whose plan should be printed instead of run.
+// With Analyze set (EXPLAIN ANALYZE), the statement also executes and the
+// output includes per-operator timings and cluster traffic.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
+
+// Select is a (possibly grouped) SELECT query.
+type Select struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	Having  Expr // nil when absent
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// SelectItem is one output expression; Star marks SELECT *.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// TableRef is one entry in a FROM list: either a named table/view or a
+// parenthesized subquery, with an optional alias.
+type TableRef struct {
+	Table    string  // empty if Subquery != nil
+	Subquery *Select // nil for named tables
+	Alias    string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (*CreateTable) stmt()   {}
+func (*CreateTableAs) stmt() {}
+func (*CreateView) stmt()    {}
+func (*Insert) stmt()        {}
+func (*DropTable) stmt()     {}
+func (*Select) stmt()        {}
+func (*Explain) stmt()       {}
+
+// Expr is any parsed expression.
+type Expr interface{ expr() }
+
+// ColRef is a column reference, optionally qualified (x.pointID).
+type ColRef struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// DoubleLit is a floating-point literal.
+type DoubleLit struct{ V float64 }
+
+// StringLit is a 'single quoted' string literal.
+type StringLit struct{ V string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// BinaryExpr is a binary operation. Op is one of:
+// + - * / = <> < <= > >= AND OR.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is unary minus or NOT.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	E  Expr
+}
+
+// FuncCall is a function or aggregate invocation; Star marks COUNT(*).
+type FuncCall struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool
+}
+
+// SubqueryExpr is a scalar subquery used as an expression, e.g.
+// WHERE dist = (SELECT MAX(dist) FROM d). It must produce one column and at
+// most one row; an empty result is NULL.
+type SubqueryExpr struct {
+	Query *Select
+}
+
+func (*ColRef) expr()       {}
+func (*IntLit) expr()       {}
+func (*DoubleLit) expr()    {}
+func (*StringLit) expr()    {}
+func (*BoolLit) expr()      {}
+func (*NullLit) expr()      {}
+func (*BinaryExpr) expr()   {}
+func (*UnaryExpr) expr()    {}
+func (*FuncCall) expr()     {}
+func (*SubqueryExpr) expr() {}
+
+// ExprString renders an expression back to SQL-ish text, for error messages
+// and EXPLAIN output.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Column)
+	case *IntLit:
+		writeInt(b, x.V)
+	case *DoubleLit:
+		writeFloat(b, x.V)
+	case *StringLit:
+		b.WriteByte('\'')
+		b.WriteString(x.V)
+		b.WriteByte('\'')
+	case *BoolLit:
+		if x.V {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case *NullLit:
+		b.WriteString("NULL")
+	case *BinaryExpr:
+		b.WriteByte('(')
+		writeExpr(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		writeExpr(b, x.R)
+		b.WriteByte(')')
+	case *UnaryExpr:
+		// NOT parenthesizes fully so the rendering reparses in any context
+		// (the grammar places NOT below comparisons).
+		if x.Op == "NOT" {
+			b.WriteString("(NOT ")
+			writeExpr(b, x.E)
+			b.WriteByte(')')
+			return
+		}
+		b.WriteString(x.Op)
+		writeExpr(b, x.E)
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *SubqueryExpr:
+		b.WriteString("(SELECT ...)")
+	default:
+		b.WriteString("?expr?")
+	}
+}

@@ -1,0 +1,231 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexed tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokDouble
+	tokString
+	tokOp // operators and punctuation: ( ) [ ] , ; . + - * / = <> < <= > >=
+)
+
+// token is one lexed token with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers lower-cased
+	raw  string
+	pos  int // byte offset
+	line int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "CREATE": true,
+	"TABLE": true, "VIEW": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"DROP": true, "IF": true, "EXISTS": true, "EXPLAIN": true, "TRUE": true,
+	"FALSE": true, "NULL": true, "INTEGER": true, "INT": true, "DOUBLE": true,
+	"STRING": true, "VARCHAR": true, "BOOLEAN": true, "VECTOR": true,
+	"MATRIX": true, "LABELED_SCALAR": true, "DISTINCT": true,
+	"PARTITION": true, "HASH": true, "ANALYZE": true,
+}
+
+// lexer scans an input string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(start), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start)
+	case c == '.':
+		// Could be a number like .5 or the dot operator.
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			return l.lexNumber(start)
+		}
+		l.pos++
+		return token{kind: tokOp, text: ".", raw: ".", pos: start, line: l.line}, nil
+	case c == '\'':
+		return l.lexString(start)
+	default:
+		return l.lexOp(start)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent(start int) token {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	raw := l.src[start:l.pos]
+	upper := strings.ToUpper(raw)
+	if keywords[upper] {
+		return token{kind: tokKeyword, text: upper, raw: raw, pos: start, line: l.line}
+	}
+	return token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start, line: l.line}
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			// Don't consume ".." or ".e"; and "1.x" where x is a letter means
+			// tuple field access is impossible on numbers, so dot+digit only.
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			// Exponent must be followed by digits or sign+digits.
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				seenExp = true
+				l.pos = j + 1
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	raw := l.src[start:l.pos]
+	kind := tokInt
+	if seenDot || seenExp {
+		kind = tokDouble
+	}
+	return token{kind: kind, text: raw, raw: raw, pos: start, line: l.line}, nil
+}
+
+func (l *lexer) lexString(start int) (token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), raw: l.src[start:l.pos], pos: start, line: l.line}, nil
+		}
+		if c == '\n' {
+			l.line++
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf("unterminated string literal")
+}
+
+func (l *lexer) lexOp(start int) (token, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=", "!=":
+		l.pos += 2
+		text := two
+		if text == "!=" {
+			text = "<>"
+		}
+		return token{kind: tokOp, text: text, raw: two, pos: start, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', '[', ']', ',', ';', '+', '-', '*', '/', '=', '<', '>':
+		l.pos++
+		return token{kind: tokOp, text: string(c), raw: string(c), pos: start, line: l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}

@@ -1,0 +1,430 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"relalg/internal/types"
+)
+
+func parseOne(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseCreateTableScalar(t *testing.T) {
+	s := parseOne(t, "CREATE TABLE y (i INTEGER, y_i DOUBLE)")
+	ct, ok := s.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if ct.Name != "y" || len(ct.Cols) != 2 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	if ct.Cols[0].Type != types.TInt || ct.Cols[1].Type != types.TDouble {
+		t.Fatalf("types %v %v", ct.Cols[0].Type, ct.Cols[1].Type)
+	}
+}
+
+func TestParseCreateTableLinAlgTypes(t *testing.T) {
+	// The paper's example: CREATE TABLE m (mat MATRIX[10][10], vec VECTOR[100]).
+	s := parseOne(t, "CREATE TABLE m (mat MATRIX[10][10], vec VECTOR[100])")
+	ct := s.(*CreateTable)
+	if ct.Cols[0].Type.String() != "MATRIX[10][10]" {
+		t.Fatalf("mat type = %s", ct.Cols[0].Type)
+	}
+	if ct.Cols[1].Type.String() != "VECTOR[100]" {
+		t.Fatalf("vec type = %s", ct.Cols[1].Type)
+	}
+
+	s = parseOne(t, "CREATE TABLE v (vec VECTOR[], m MATRIX[10][], n MATRIX[][], ls LABELED_SCALAR)")
+	ct = s.(*CreateTable)
+	wants := []string{"VECTOR[]", "MATRIX[10][]", "MATRIX[][]", "LABELED_SCALAR"}
+	for i, w := range wants {
+		if ct.Cols[i].Type.String() != w {
+			t.Errorf("col %d type = %s, want %s", i, ct.Cols[i].Type, w)
+		}
+	}
+}
+
+func TestParseSelectSimple(t *testing.T) {
+	s := parseOne(t, "SELECT a, b AS bee FROM t WHERE a = 3")
+	sel := s.(*Select)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "bee" {
+		t.Fatalf("items %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Table != "t" || sel.From[0].Alias != "t" {
+		t.Fatalf("from %+v", sel.From)
+	}
+	be, ok := sel.Where.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("where %+v", sel.Where)
+	}
+}
+
+func TestParsePaperGramTupleQuery(t *testing.T) {
+	// Verbatim from the paper's experiments section.
+	src := `SELECT x1.col_index, x2.col_index,
+	        SUM(x1.value * x2.value)
+	        FROM x AS x1, x AS x2
+	        WHERE x1.row_index = x2.row_index
+	        GROUP BY x1.col_index, x2.col_index;`
+	stmts, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmts[0].(*Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	agg, ok := sel.Items[2].Expr.(*FuncCall)
+	if !ok || agg.Name != "sum" {
+		t.Fatalf("item 2 = %+v", sel.Items[2].Expr)
+	}
+	if len(sel.From) != 2 || sel.From[0].Alias != "x1" || sel.From[1].Alias != "x2" {
+		t.Fatalf("from %+v", sel.From)
+	}
+	if len(sel.GroupBy) != 2 {
+		t.Fatalf("group by %+v", sel.GroupBy)
+	}
+}
+
+func TestParsePaperVectorizeQuery(t *testing.T) {
+	src := `SELECT VECTORIZE(label_scalar(y_i, i)) FROM y`
+	sel := parseOne(t, src).(*Select)
+	outer := sel.Items[0].Expr.(*FuncCall)
+	if outer.Name != "vectorize" {
+		t.Fatalf("outer = %q", outer.Name)
+	}
+	inner := outer.Args[0].(*FuncCall)
+	if inner.Name != "label_scalar" || len(inner.Args) != 2 {
+		t.Fatalf("inner = %+v", inner)
+	}
+}
+
+func TestParsePaperBigMatrixMultiply(t *testing.T) {
+	src := `SELECT lhs.tileRow, rhs.tileCol,
+	        SUM (matrix_multiply (lhs.mat, rhs.mat))
+	        FROM bigMatrix AS lhs, anotherBigMat AS rhs
+	        WHERE lhs.tileCol = rhs.tileRow
+	        GROUP BY lhs.tileRow, rhs.tileCol`
+	sel := parseOne(t, src).(*Select)
+	if len(sel.Items) != 3 || len(sel.GroupBy) != 2 {
+		t.Fatalf("parsed %+v", sel)
+	}
+	// Identifiers are lower-cased.
+	cr := sel.Items[0].Expr.(*ColRef)
+	if cr.Table != "lhs" || cr.Column != "tilerow" {
+		t.Fatalf("colref %+v", cr)
+	}
+}
+
+func TestParseCreateViewWithColumns(t *testing.T) {
+	src := `CREATE VIEW xDiff (pointID, dimID, value) AS
+	        SELECT x2.pointID, x2.dimID, x1.value - x2.value
+	        FROM data AS x1, data AS x2
+	        WHERE x1.pointID = 3 AND x1.dimID = x2.dimID`
+	cv := parseOne(t, src).(*CreateView)
+	if cv.Name != "xdiff" {
+		t.Fatalf("name %q", cv.Name)
+	}
+	if len(cv.Cols) != 3 || cv.Cols[0] != "pointid" {
+		t.Fatalf("cols %v", cv.Cols)
+	}
+	if cv.Query.Where == nil {
+		t.Fatal("missing where")
+	}
+}
+
+func TestParseSubqueryInFrom(t *testing.T) {
+	src := `SELECT x.pointID, SUM(firstPart.value * x.value)
+	        FROM (SELECT a.colID AS colID FROM matrixA AS a) AS firstPart, xDiff AS x
+	        WHERE firstPart.colID = x.dimID
+	        GROUP BY x.pointID`
+	sel := parseOne(t, src).(*Select)
+	if sel.From[0].Subquery == nil || sel.From[0].Alias != "firstpart" {
+		t.Fatalf("from[0] %+v", sel.From[0])
+	}
+	if sel.From[1].Table != "xdiff" {
+		t.Fatalf("from[1] %+v", sel.From[1])
+	}
+}
+
+func TestParseSubqueryRequiresAlias(t *testing.T) {
+	if _, err := Parse("SELECT a FROM (SELECT a FROM t)"); err == nil {
+		t.Fatal("subquery without alias parsed")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := parseOne(t, "INSERT INTO y VALUES (1, 2.5), (2, -3.5)").(*Insert)
+	if ins.Table != "y" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 2 {
+		t.Fatalf("insert %+v", ins)
+	}
+	if lit, ok := ins.Rows[1][1].(*DoubleLit); !ok || lit.V != -3.5 {
+		t.Fatalf("negative literal %+v", ins.Rows[1][1])
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	d := parseOne(t, "DROP TABLE IF EXISTS foo").(*DropTable)
+	if d.Name != "foo" || !d.IfExists {
+		t.Fatalf("drop %+v", d)
+	}
+	d = parseOne(t, "DROP VIEW v").(*DropTable)
+	if d.Name != "v" || d.IfExists {
+		t.Fatalf("drop view %+v", d)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	e := parseOne(t, "EXPLAIN SELECT a FROM t").(*Explain)
+	if _, ok := e.Stmt.(*Select); !ok {
+		t.Fatalf("explain wraps %T", e.Stmt)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ExprString(e); got != "(1 + (2 * 3))" {
+		t.Fatalf("precedence: %s", got)
+	}
+	e, _ = ParseExpr("(1 + 2) * 3")
+	if got := ExprString(e); got != "((1 + 2) * 3)" {
+		t.Fatalf("parens: %s", got)
+	}
+	e, _ = ParseExpr("a = 1 AND b = 2 OR c = 3")
+	if got := ExprString(e); got != "(((a = 1) AND (b = 2)) OR (c = 3))" {
+		t.Fatalf("bool precedence: %s", got)
+	}
+	e, _ = ParseExpr("NOT a = 1")
+	if got := ExprString(e); got != "(NOT (a = 1))" {
+		t.Fatalf("not: %s", got)
+	}
+	e, _ = ParseExpr("a - b - c")
+	if got := ExprString(e); got != "((a - b) - c)" {
+		t.Fatalf("left assoc: %s", got)
+	}
+}
+
+func TestParseComparisonVariants(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		e, err := ParseExpr("a " + op + " b")
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		be := e.(*BinaryExpr)
+		if be.Op != op {
+			t.Fatalf("op = %q, want %q", be.Op, op)
+		}
+	}
+	// != normalizes to <>.
+	e, err := ParseExpr("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*BinaryExpr).Op != "<>" {
+		t.Fatalf("!= parsed as %q", e.(*BinaryExpr).Op)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"42", "42"},
+		{"-7", "-7"},
+		{"3.5", "3.5"},
+		{"1e3", "1000.0"},
+		{"2.5e-1", "0.25"},
+		{".5", "0.5"},
+		{"'it''s'", "'it's'"},
+		{"TRUE", "TRUE"},
+		{"FALSE", "FALSE"},
+		{"NULL", "NULL"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if got := ExprString(e); got != c.want {
+			t.Errorf("%q -> %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	e, err := ParseExpr("count(*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := e.(*FuncCall)
+	if !fc.Star || fc.Name != "count" || len(fc.Args) != 0 {
+		t.Fatalf("count(*) = %+v", fc)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `-- leading comment
+	SELECT a /* inline
+	multiline */ FROM t -- trailing`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseScriptMultiple(t *testing.T) {
+	stmts, err := ParseScript(`
+		CREATE TABLE t (a INTEGER);
+		INSERT INTO t VALUES (1);
+		SELECT a FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+}
+
+func TestParseOrderLimitHaving(t *testing.T) {
+	sel := parseOne(t, `SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 3 ORDER BY a DESC, SUM(b) LIMIT 5`).(*Select)
+	if sel.Having == nil || len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc || sel.Limit != 5 {
+		t.Fatalf("parsed %+v", sel)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := parseOne(t, "SELECT * FROM t").(*Select)
+	if len(sel.Items) != 1 || !sel.Items[0].Star {
+		t.Fatalf("items %+v", sel.Items)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"CREATE TABLE (a INTEGER)",
+		"CREATE TABLE t (a INTEGER",
+		"CREATE TABLE t (a VECTOR)",    // missing dims
+		"CREATE TABLE t (a MATRIX[3])", // missing second dim
+		"CREATE TABLE t (a MATRIX[-1][2])",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"INSERT INTO t (1)",
+		"SELECT a FROM t LIMIT x",
+		"SELECT 'unterminated FROM t",
+		"DROP t",
+		"SELECT a FROM t; garbage",
+		"SELECT a ? b FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitivity(t *testing.T) {
+	sel := parseOne(t, "select A, Sum(B) from T group by A").(*Select)
+	if sel.From[0].Table != "t" {
+		t.Fatalf("table %q", sel.From[0].Table)
+	}
+	if cr := sel.Items[0].Expr.(*ColRef); cr.Column != "a" {
+		t.Fatalf("column %q", cr.Column)
+	}
+	if fc := sel.Items[1].Expr.(*FuncCall); fc.Name != "sum" {
+		t.Fatalf("func %q", fc.Name)
+	}
+}
+
+func TestParseBareAlias(t *testing.T) {
+	sel := parseOne(t, "SELECT a val FROM t u").(*Select)
+	if sel.Items[0].Alias != "val" {
+		t.Fatalf("alias %q", sel.Items[0].Alias)
+	}
+	if sel.From[0].Alias != "u" || sel.From[0].Table != "t" {
+		t.Fatalf("from %+v", sel.From[0])
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	depth := 40
+	src := "SELECT " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + " FROM t"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCreateTableAs(t *testing.T) {
+	s := parseOne(t, "CREATE TABLE g AS SELECT a, SUM(b) FROM t GROUP BY a")
+	ctas, ok := s.(*CreateTableAs)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if ctas.Name != "g" || ctas.Query == nil || len(ctas.Query.GroupBy) != 1 {
+		t.Fatalf("parsed %+v", ctas)
+	}
+	// Plain CREATE TABLE still parses.
+	if _, ok := parseOne(t, "CREATE TABLE t2 (a INTEGER)").(*CreateTable); !ok {
+		t.Fatal("plain create broken")
+	}
+	if _, err := Parse("CREATE TABLE g AS INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("CTAS of non-select accepted")
+	}
+}
+
+func TestParsePartitionByHash(t *testing.T) {
+	ct := parseOne(t, "CREATE TABLE r (id INTEGER, v DOUBLE) PARTITION BY HASH (id)").(*CreateTable)
+	if ct.PartitionCol != "id" {
+		t.Fatalf("partition col %q", ct.PartitionCol)
+	}
+	ct = parseOne(t, "CREATE TABLE r (id INTEGER)").(*CreateTable)
+	if ct.PartitionCol != "" {
+		t.Fatalf("unexpected partition col %q", ct.PartitionCol)
+	}
+	for _, bad := range []string{
+		"CREATE TABLE r (id INTEGER) PARTITION BY HASH (nosuch)",
+		"CREATE TABLE r (id INTEGER) PARTITION BY RANGE (id)",
+		"CREATE TABLE r (id INTEGER) PARTITION HASH (id)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseScalarSubqueryExpr(t *testing.T) {
+	sel := parseOne(t, "SELECT a FROM t WHERE a = (SELECT MAX(a) FROM t)").(*Select)
+	be := sel.Where.(*BinaryExpr)
+	sq, ok := be.R.(*SubqueryExpr)
+	if !ok {
+		t.Fatalf("rhs is %T", be.R)
+	}
+	if len(sq.Query.Items) != 1 {
+		t.Fatalf("subquery items %d", len(sq.Query.Items))
+	}
+	if got := ExprString(be); got != "(a = (SELECT ...))" {
+		t.Fatalf("string %q", got)
+	}
+	// Parenthesized non-subquery still parses as grouping.
+	e, err := ParseExpr("(1 + 2) * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ExprString(e) != "((1 + 2) * 3)" {
+		t.Fatalf("grouping broken: %s", ExprString(e))
+	}
+}

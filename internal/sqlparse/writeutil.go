@@ -1,0 +1,19 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+func writeInt(b *strings.Builder, v int64) {
+	b.WriteString(strconv.FormatInt(v, 10))
+}
+
+func writeFloat(b *strings.Builder, v float64) {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	b.WriteString(s)
+	// Keep literals recognizable as doubles when round.
+	if !strings.ContainsAny(s, ".eE") {
+		b.WriteString(".0")
+	}
+}

@@ -1,0 +1,141 @@
+package types
+
+import (
+	"fmt"
+)
+
+// Signature is a templated function type signature (paper §4.2). Dimension
+// variables appearing in Params are bound against the actual argument types;
+// the bindings then instantiate the Result type, so the optimizer learns the
+// exact output shape. For example:
+//
+//	matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]
+//
+// applied to MATRIX[1000][100] and MATRIX[100][10000] binds a=1000, b=100,
+// c=10000 and yields MATRIX[1000][10000]; applied to MATRIX[10][10] and
+// VECTOR-incompatible or dimension-conflicting arguments it reports a
+// compile-time error.
+type Signature struct {
+	Params []T
+	Result T
+}
+
+// Bindings maps dimension-variable names to known sizes.
+type Bindings map[string]int
+
+// Unify binds the signature's dimension variables against the actual
+// argument types and returns the instantiated result type.
+//
+// Rules, following the paper:
+//   - base types must match after numeric promotion (INT and LABELED_SCALAR
+//     are accepted where DOUBLE is expected);
+//   - a known actual dimension binds a free variable, and must equal an
+//     already-bound variable (conflict = compile-time error, as in §4.2
+//     where binding b twice with different values is an error);
+//   - an unknown actual dimension (VECTOR[] column) binds nothing: checks
+//     involving it are deferred to run time, and any result dimension
+//     depending on an unbound variable comes out unknown.
+func (s Signature) Unify(args []T) (T, Bindings, error) {
+	if len(args) != len(s.Params) {
+		return T{}, nil, fmt.Errorf("%w: got %d arguments, want %d", ErrTypeMismatch, len(args), len(s.Params))
+	}
+	b := Bindings{}
+	for i, p := range s.Params {
+		a := args[i]
+		if err := bindParam(b, p, a, i); err != nil {
+			return T{}, nil, err
+		}
+	}
+	return instantiate(s.Result, b), b, nil
+}
+
+func bindParam(b Bindings, p, a T, argIdx int) error {
+	switch p.Base {
+	case Any:
+		return nil
+	case Double:
+		if !a.IsNumericScalar() {
+			return fmt.Errorf("%w: argument %d is %s, want DOUBLE", ErrTypeMismatch, argIdx+1, a)
+		}
+		return nil
+	case Int:
+		if a.Base != Int {
+			return fmt.Errorf("%w: argument %d is %s, want INTEGER", ErrTypeMismatch, argIdx+1, a)
+		}
+		return nil
+	case Vector, Matrix:
+		if a.Base != p.Base {
+			return fmt.Errorf("%w: argument %d is %s, want %s", ErrTypeMismatch, argIdx+1, a, p.Base)
+		}
+		ndims := 1
+		if p.Base == Matrix {
+			ndims = 2
+		}
+		for d := 0; d < ndims; d++ {
+			if err := bindDim(b, p.Dims[d], a.Dims[d], argIdx, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		if a.Base != p.Base {
+			return fmt.Errorf("%w: argument %d is %s, want %s", ErrTypeMismatch, argIdx+1, a, p)
+		}
+		return nil
+	}
+}
+
+func bindDim(b Bindings, p, a Dim, argIdx, dimIdx int) error {
+	switch {
+	case p.Var != "":
+		if !a.Known {
+			return nil // defer to run time
+		}
+		if bound, ok := b[p.Var]; ok {
+			if bound != a.N {
+				return fmt.Errorf("%w: dimension %s bound to %d but argument %d has %d",
+					ErrTypeMismatch, p.Var, bound, argIdx+1, a.N)
+			}
+			return nil
+		}
+		b[p.Var] = a.N
+		return nil
+	case p.Known:
+		if a.Known && a.N != p.N {
+			return fmt.Errorf("%w: argument %d dimension %d is %d, want %d",
+				ErrTypeMismatch, argIdx+1, dimIdx+1, a.N, p.N)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func instantiate(t T, b Bindings) T {
+	if !t.IsLinAlg() {
+		return t
+	}
+	out := t
+	for i := 0; i < 2; i++ {
+		d := t.Dims[i]
+		if d.Var != "" {
+			if n, ok := b[d.Var]; ok {
+				out.Dims[i] = KnownDim(n)
+			} else {
+				out.Dims[i] = UnknownDim
+			}
+		}
+	}
+	return out
+}
+
+func (s Signature) String() string {
+	out := "("
+	for i, p := range s.Params {
+		if i > 0 {
+			out += ", "
+		}
+		out += p.String()
+	}
+	return out + ") -> " + s.Result.String()
+}

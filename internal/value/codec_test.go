@@ -1,0 +1,171 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relalg/internal/linalg"
+)
+
+func roundTripRow(t *testing.T, r Row) {
+	t.Helper()
+	buf := AppendRow(nil, r)
+	got, rest, err := DecodeRow(buf)
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %d", len(rest))
+	}
+	if len(got) != len(r) {
+		t.Fatalf("row length %d, want %d", len(got), len(r))
+	}
+	for i := range r {
+		if !got[i].Equal(r[i]) {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], r[i])
+		}
+	}
+}
+
+func TestCodecRoundTripAllKinds(t *testing.T) {
+	roundTripRow(t, Row{
+		Null(),
+		Bool(true),
+		Bool(false),
+		Int(-42),
+		Double(3.14159),
+		String_(""),
+		String_("hello, codec"),
+		Vector(linalg.VectorOf(1, -2, 3.5)),
+		LabeledVector(linalg.VectorOf(9), 77),
+		Matrix(linalg.Identity(3)),
+		LabeledScalar(-1.5, 123),
+	})
+}
+
+func TestCodecEmptyRow(t *testing.T) {
+	roundTripRow(t, Row{})
+}
+
+func TestCodecBatch(t *testing.T) {
+	rows := []Row{
+		{Int(1), Double(2)},
+		{String_("a"), Null()},
+		{Vector(linalg.VectorOf(5, 6))},
+	}
+	buf := EncodeRows(rows)
+	got, err := DecodeRows(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("batch length %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !got[i][j].Equal(rows[i][j]) {
+				t.Fatalf("row %d col %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCodecCorruptInputs(t *testing.T) {
+	bad := [][]byte{
+		{},                                // empty
+		{1, 0, 0},                         // short row header
+		{1, 0, 0, 0},                      // count 1 but no value
+		{1, 0, 0, 0, 200},                 // unknown kind
+		{1, 0, 0, 0, byte(KindInt), 1, 2}, // short int
+	}
+	for i, buf := range bad {
+		if _, _, err := DecodeRow(buf); err == nil {
+			t.Errorf("case %d: corrupt input decoded successfully", i)
+		}
+	}
+	if _, err := DecodeRows([]byte{9}); err == nil {
+		t.Error("short batch decoded successfully")
+	}
+	// Trailing garbage after a valid batch is an error.
+	buf := EncodeRows([]Row{{Int(1)}})
+	buf = append(buf, 0xFF)
+	if _, err := DecodeRows(buf); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(8) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63() - r.Int63())
+	case 3:
+		return Double(r.NormFloat64() * 1000)
+	case 4:
+		n := r.Intn(20)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return String_(string(b))
+	case 5:
+		v := linalg.NewVector(r.Intn(8))
+		for i := range v.Data {
+			v.Data[i] = r.NormFloat64()
+		}
+		return LabeledVector(v, int64(r.Intn(100))-1)
+	case 6:
+		m := linalg.NewMatrix(r.Intn(5)+1, r.Intn(5)+1)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		return Matrix(m)
+	default:
+		return LabeledScalar(r.NormFloat64(), int64(r.Intn(1000)))
+	}
+}
+
+func TestPropCodecRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		row := make(Row, int(nRaw%10))
+		for i := range row {
+			row[i] = randomValue(r)
+		}
+		buf := AppendRow(nil, row)
+		got, rest, err := DecodeRow(buf)
+		if err != nil || len(rest) != 0 || len(got) != len(row) {
+			return false
+		}
+		for i := range row {
+			if !got[i].Equal(row[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropHashAgreesWithEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r)
+		// Encode/decode then hash: equal values must agree.
+		buf := AppendValue(nil, v)
+		w, _, err := DecodeValue(buf)
+		if err != nil {
+			return false
+		}
+		return v.Hash() == w.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

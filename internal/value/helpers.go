@@ -1,0 +1,100 @@
+package value
+
+import (
+	"math"
+
+	"relalg/internal/linalg"
+)
+
+func vecOf(data []float64) *linalg.Vector {
+	return &linalg.Vector{Data: data}
+}
+
+func matOf(rows, cols int, data []float64) *linalg.Matrix {
+	return &linalg.Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Hash returns a 64-bit hash of the value, used by hash partitioning and hash
+// joins. Numeric values hash by their double representation so INTEGER 3 and
+// DOUBLE 3.0 land in the same bucket (they also compare equal).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	switch v.Kind {
+	case KindNull:
+		mix(0)
+	case KindBool:
+		if v.B {
+			mix(1)
+		} else {
+			mix(2)
+		}
+	case KindInt:
+		mix(doubleBits(float64(v.I)))
+	case KindDouble, KindLabeledScalar:
+		mix(doubleBits(v.D))
+	case KindString:
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= prime64
+		}
+	case KindVector:
+		for _, x := range v.Vec.Data {
+			mix(doubleBits(x))
+		}
+	case KindMatrix:
+		mix(uint64(v.Mat.Cols))
+		for _, x := range v.Mat.Data {
+			mix(doubleBits(x))
+		}
+	}
+	return h
+}
+
+func doubleBits(d float64) uint64 {
+	if d == 0 {
+		d = 0 // normalize -0.0 to +0.0
+	}
+	return math.Float64bits(d)
+}
+
+// HashRowKey hashes the projection of row onto the given column indexes.
+func HashRowKey(row Row, cols []int) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h ^= row[c].Hash()
+		h *= prime64
+	}
+	return h
+}
+
+// KeyEqual reports whether two rows agree on the given key columns, using
+// SQL equality (numeric kinds compare by value).
+func KeyEqual(a, b Row, acols, bcols []int) bool {
+	for i := range acols {
+		av, bv := a[acols[i]], b[bcols[i]]
+		if av.IsNumeric() && bv.IsNumeric() {
+			x, _ := av.AsDouble()
+			y, _ := bv.AsDouble()
+			if x != y {
+				return false
+			}
+			continue
+		}
+		if !av.Equal(bv) {
+			return false
+		}
+	}
+	return true
+}

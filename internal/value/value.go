@@ -1,0 +1,267 @@
+// Package value defines the runtime values that flow through the engine:
+// the classic SQL scalars plus the paper's three new column types —
+// LABELED_SCALAR, VECTOR, and MATRIX. It also provides the binary row codec
+// used whenever rows cross a (simulated) network boundary.
+package value
+
+import (
+	"fmt"
+	"strconv"
+
+	"relalg/internal/linalg"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The runtime kinds. KindLabeledScalar is a DOUBLE carrying an integer label;
+// KindVector values also carry a label (implicitly -1 unless set with
+// label_vector), which ROWMATRIX and COLMATRIX use for placement.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindDouble
+	KindString
+	KindVector
+	KindMatrix
+	KindLabeledScalar
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindDouble:
+		return "DOUBLE"
+	case KindString:
+		return "STRING"
+	case KindVector:
+		return "VECTOR"
+	case KindMatrix:
+		return "MATRIX"
+	case KindLabeledScalar:
+		return "LABELED_SCALAR"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	Kind  Kind
+	B     bool
+	I     int64
+	D     float64 // also holds the scalar of a LABELED_SCALAR
+	S     string
+	Vec   *linalg.Vector
+	Mat   *linalg.Matrix
+	Label int64 // label of a LABELED_SCALAR or VECTOR; -1 when unset
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool returns a BOOLEAN value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// Int returns an INTEGER value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Double returns a DOUBLE value.
+func Double(d float64) Value { return Value{Kind: KindDouble, D: d} }
+
+// String_ returns a STRING value. (String is taken by fmt.Stringer.)
+func String_(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Vector returns a VECTOR value with the default label -1.
+func Vector(v *linalg.Vector) Value { return Value{Kind: KindVector, Vec: v, Label: -1} }
+
+// LabeledVector returns a VECTOR value carrying an explicit label.
+func LabeledVector(v *linalg.Vector, label int64) Value {
+	return Value{Kind: KindVector, Vec: v, Label: label}
+}
+
+// Matrix returns a MATRIX value.
+func Matrix(m *linalg.Matrix) Value { return Value{Kind: KindMatrix, Mat: m} }
+
+// LabeledScalar returns a LABELED_SCALAR: a DOUBLE with an attached label.
+func LabeledScalar(d float64, label int64) Value {
+	return Value{Kind: KindLabeledScalar, D: d, Label: label}
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsDouble converts numeric kinds to float64.
+func (v Value) AsDouble() (float64, error) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), nil
+	case KindDouble, KindLabeledScalar:
+		return v.D, nil
+	}
+	return 0, fmt.Errorf("value: cannot use %s as DOUBLE", v.Kind)
+}
+
+// AsInt converts numeric kinds to int64 (doubles truncate).
+func (v Value) AsInt() (int64, error) {
+	switch v.Kind {
+	case KindInt:
+		return v.I, nil
+	case KindDouble, KindLabeledScalar:
+		return int64(v.D), nil
+	}
+	return 0, fmt.Errorf("value: cannot use %s as INTEGER", v.Kind)
+}
+
+// IsNumeric reports whether v can participate in scalar arithmetic.
+func (v Value) IsNumeric() bool {
+	switch v.Kind {
+	case KindInt, KindDouble, KindLabeledScalar:
+		return true
+	}
+	return false
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return strconv.FormatBool(v.B)
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindDouble:
+		return strconv.FormatFloat(v.D, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindVector:
+		return v.Vec.String()
+	case KindMatrix:
+		return v.Mat.String()
+	case KindLabeledScalar:
+		return fmt.Sprintf("%g@%d", v.D, v.Label)
+	}
+	return "?"
+}
+
+// Equal reports deep equality (exact float comparison).
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.B == w.B
+	case KindInt:
+		return v.I == w.I
+	case KindDouble:
+		return v.D == w.D
+	case KindString:
+		return v.S == w.S
+	case KindVector:
+		return v.Label == w.Label && v.Vec.Equal(w.Vec)
+	case KindMatrix:
+		return v.Mat.Equal(w.Mat)
+	case KindLabeledScalar:
+		return v.D == w.D && v.Label == w.Label
+	}
+	return false
+}
+
+// Compare orders two comparable values: -1, 0, +1. Vectors and matrices are
+// not ordered; comparing them is an error.
+func (v Value) Compare(w Value) (int, error) {
+	if v.IsNull() || w.IsNull() {
+		return 0, fmt.Errorf("value: cannot compare NULL")
+	}
+	if v.IsNumeric() && w.IsNumeric() {
+		a, _ := v.AsDouble()
+		b, _ := w.AsDouble()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if v.Kind == KindString && w.Kind == KindString {
+		switch {
+		case v.S < w.S:
+			return -1, nil
+		case v.S > w.S:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if v.Kind == KindBool && w.Kind == KindBool {
+		switch {
+		case !v.B && w.B:
+			return -1, nil
+		case v.B && !w.B:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("value: cannot compare %s with %s", v.Kind, w.Kind)
+}
+
+// SizeBytes estimates the in-memory payload of the value; the optimizer's
+// byte-based cost model and the cluster accounting both use it.
+func (v Value) SizeBytes() int {
+	switch v.Kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 1
+	case KindInt, KindDouble:
+		return 8
+	case KindLabeledScalar:
+		return 16
+	case KindString:
+		return len(v.S) + 4
+	case KindVector:
+		return 8*v.Vec.Len() + 12
+	case KindMatrix:
+		return 8*v.Mat.Rows*v.Mat.Cols + 8
+	}
+	return 0
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a shallow copy of the row (values are immutable by
+// convention; vectors/matrices are shared).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// SizeBytes sums the sizes of all values in the row.
+func (r Row) SizeBytes() int {
+	n := 0
+	for _, v := range r {
+		n += v.SizeBytes()
+	}
+	return n
+}
+
+func (r Row) String() string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}

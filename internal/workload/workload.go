@@ -1,0 +1,133 @@
+// Package workload generates the synthetic dense data of the paper's
+// experiments (the paper itself used synthetic dense data: "there is likely
+// no practical difference between synthetic and real data") in each of the
+// storage layouts the evaluation compares: normalized tuples, one vector
+// per data point, and blocked matrices.
+package workload
+
+import (
+	"math/rand"
+
+	"relalg/internal/linalg"
+	"relalg/internal/value"
+)
+
+// DenseVectors draws n dense d-dimensional points with entries uniform in
+// [-1, 1), deterministically from seed.
+func DenseVectors(seed int64, n, d int) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	backing := make([]float64, n*d)
+	for i := range out {
+		row := backing[i*d : (i+1)*d]
+		for j := range row {
+			row[j] = r.Float64()*2 - 1
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TupleRows lays points out as normalized triples
+// (row_index INTEGER, col_index INTEGER, value DOUBLE) — a million
+// 1000-dimensional vectors become a billion tuples, the layout whose
+// per-tuple costs the paper's tuple-based SimSQL numbers expose.
+func TupleRows(data [][]float64) []value.Row {
+	var rows []value.Row
+	for i, vec := range data {
+		for j, x := range vec {
+			rows = append(rows, value.Row{value.Int(int64(i)), value.Int(int64(j)), value.Double(x)})
+		}
+	}
+	return rows
+}
+
+// VectorRows lays points out as (id INTEGER, value VECTOR[]).
+func VectorRows(data [][]float64) []value.Row {
+	rows := make([]value.Row, len(data))
+	for i, vec := range data {
+		rows[i] = value.Row{value.Int(int64(i)), value.Vector(linalg.VectorOf(vec...))}
+	}
+	return rows
+}
+
+// BlockRows groups consecutive points into blocks of blockRows rows stored
+// as (mi INTEGER, m MATRIX[][]) — the pre-blocked layout. A final partial
+// block keeps its true (smaller) height.
+func BlockRows(data [][]float64, blockRows int) []value.Row {
+	if blockRows <= 0 {
+		blockRows = 1
+	}
+	var rows []value.Row
+	for start := 0; start < len(data); start += blockRows {
+		end := start + blockRows
+		if end > len(data) {
+			end = len(data)
+		}
+		m, err := linalg.MatrixFromRows(data[start:end])
+		if err != nil {
+			// DenseVectors always produces rectangular data.
+			panic(err)
+		}
+		rows = append(rows, value.Row{value.Int(int64(start / blockRows)), value.Matrix(m)})
+	}
+	return rows
+}
+
+// RegressionTargets produces y_i = <x_i, beta> + noise, as
+// (i INTEGER, y_i DOUBLE) rows. noise=0 makes the least-squares solution
+// recover beta exactly (up to conditioning).
+func RegressionTargets(seed int64, data [][]float64, beta []float64, noise float64) []value.Row {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]value.Row, len(data))
+	for i, vec := range data {
+		var y float64
+		for j, x := range vec {
+			y += x * beta[j]
+		}
+		if noise > 0 {
+			y += r.NormFloat64() * noise
+		}
+		rows[i] = value.Row{value.Int(int64(i)), value.Double(y)}
+	}
+	return rows
+}
+
+// Beta draws a deterministic coefficient vector for regression workloads.
+func Beta(seed int64, d int) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = r.Float64()*4 - 2
+	}
+	return out
+}
+
+// MetricMatrix returns a symmetric, strictly diagonally dominant (hence
+// positive definite) d×d matrix, the Riemannian metric A of the distance
+// computation.
+func MetricMatrix(seed int64, d int) *linalg.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			x := r.Float64()*0.2 - 0.1
+			m.Set(i, j, x)
+			m.Set(j, i, x)
+		}
+	}
+	for i := 0; i < d; i++ {
+		m.Set(i, i, 1+r.Float64())
+	}
+	return m
+}
+
+// BlockIndexRows enumerates block ids 0..nBlocks-1 as (mi INTEGER) rows,
+// the helper table the paper's blocking SQL joins against.
+func BlockIndexRows(nBlocks int) []value.Row {
+	rows := make([]value.Row, nBlocks)
+	for i := range rows {
+		rows[i] = value.Row{value.Int(int64(i))}
+	}
+	return rows
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+
+	"relalg/internal/value"
+)
+
+func TestDenseVectorsDeterministic(t *testing.T) {
+	a := DenseVectors(7, 10, 4)
+	b := DenseVectors(7, 10, 4)
+	if len(a) != 10 || len(a[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(a), len(a[0]))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("not deterministic")
+			}
+			if a[i][j] < -1 || a[i][j] >= 1 {
+				t.Fatalf("out of range %g", a[i][j])
+			}
+		}
+	}
+	c := DenseVectors(8, 10, 4)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTupleRows(t *testing.T) {
+	data := [][]float64{{1, 2}, {3, 4}}
+	rows := TupleRows(data)
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// (1, 0) -> 3
+	for _, r := range rows {
+		if r[0].I == 1 && r[1].I == 0 && r[2].D != 3 {
+			t.Fatalf("row %v", r)
+		}
+	}
+}
+
+func TestVectorRows(t *testing.T) {
+	data := [][]float64{{1, 2}, {3, 4}}
+	rows := VectorRows(data)
+	if len(rows) != 2 || rows[1][0].I != 1 {
+		t.Fatalf("rows %v", rows)
+	}
+	if rows[1][1].Vec.At(1) != 4 {
+		t.Fatalf("vector %v", rows[1][1])
+	}
+}
+
+func TestBlockRowsPartialTail(t *testing.T) {
+	data := DenseVectors(1, 25, 3)
+	rows := BlockRows(data, 10)
+	if len(rows) != 3 {
+		t.Fatalf("blocks %d", len(rows))
+	}
+	if rows[0][1].Mat.Rows != 10 || rows[2][1].Mat.Rows != 5 {
+		t.Fatalf("block heights %d, %d", rows[0][1].Mat.Rows, rows[2][1].Mat.Rows)
+	}
+	if rows[1][0].I != 1 {
+		t.Fatalf("block id %v", rows[1][0])
+	}
+	// Content preserved.
+	if rows[2][1].Mat.At(4, 2) != data[24][2] {
+		t.Fatal("block content wrong")
+	}
+	// Degenerate block size normalizes to 1.
+	if got := BlockRows(data[:2], 0); len(got) != 2 {
+		t.Fatalf("degenerate block size: %d blocks", len(got))
+	}
+}
+
+func TestRegressionTargetsExact(t *testing.T) {
+	data := [][]float64{{1, 0}, {0, 1}, {2, 2}}
+	beta := []float64{3, -1}
+	rows := RegressionTargets(1, data, beta, 0)
+	want := []float64{3, -1, 4}
+	for i, r := range rows {
+		if r[1].D != want[i] {
+			t.Fatalf("y[%d] = %v, want %g", i, r[1], want[i])
+		}
+	}
+	noisy := RegressionTargets(1, data, beta, 0.5)
+	if noisy[0][1].D == rows[0][1].D {
+		t.Fatal("noise had no effect")
+	}
+}
+
+func TestMetricMatrixSPD(t *testing.T) {
+	m := MetricMatrix(3, 6)
+	if m.Rows != 6 || m.Cols != 6 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if !m.EqualApprox(m.Transpose(), 0) {
+		t.Fatal("metric not symmetric")
+	}
+	// Diagonal dominance ⇒ positive definite.
+	for i := 0; i < m.Rows; i++ {
+		var off float64
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				off += abs(m.At(i, j))
+			}
+		}
+		if m.At(i, i) <= off {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+	if _, err := m.Inverse(); err != nil {
+		t.Fatalf("metric not invertible: %v", err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBlockIndexRows(t *testing.T) {
+	rows := BlockIndexRows(3)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for i, r := range rows {
+		if !r[0].Equal(value.Int(int64(i))) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestBeta(t *testing.T) {
+	b := Beta(5, 4)
+	if len(b) != 4 {
+		t.Fatalf("len %d", len(b))
+	}
+	for _, x := range b {
+		if x < -2 || x >= 2 {
+			t.Fatalf("coefficient out of range: %g", x)
+		}
+	}
+}

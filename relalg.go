@@ -1,0 +1,107 @@
+// Package relalg is a parallel relational database engine with native
+// linear-algebra support — a from-scratch Go reproduction of "Scalable
+// Linear Algebra on a Relational Database System" (Luo, Gao, Gubanov,
+// Perez, Jermaine; ICDE 2017).
+//
+// The engine extends SQL with LABELED_SCALAR, VECTOR[n] and MATRIX[r][c]
+// column types, 40+ linear-algebra built-ins with templated type signatures,
+// overloaded arithmetic, the conversion aggregates VECTORIZE / ROWMATRIX /
+// COLMATRIX, and a cost-based optimizer that understands linear-algebra
+// object sizes. Queries run on a simulated shared-nothing cluster.
+//
+//	db := relalg.Open(relalg.DefaultConfig())
+//	db.MustExec(`CREATE TABLE X (i INTEGER, x_i VECTOR[])`)
+//	db.MustExec(`CREATE TABLE y (i INTEGER, y_i DOUBLE)`)
+//	// ... load rows with db.LoadTable ...
+//	res, err := db.Query(`
+//	    SELECT matrix_vector_multiply(
+//	             matrix_inverse(SUM(outer_product(X.x_i, X.x_i))),
+//	             SUM(X.x_i * y_i))
+//	    FROM X, y WHERE X.i = y.i`)
+//
+// This package is a thin facade over the implementation packages under
+// internal/; see README.md for the architecture and DESIGN.md for the
+// paper-to-code map.
+package relalg
+
+import (
+	"relalg/internal/cluster"
+	"relalg/internal/core"
+	"relalg/internal/dml"
+	"relalg/internal/linalg"
+	"relalg/internal/opt"
+	"relalg/internal/value"
+)
+
+// Re-exported engine types.
+type (
+	// Database is one engine instance (see core.Database).
+	Database = core.Database
+	// Config assembles the engine's tunables.
+	Config = core.Config
+	// ClusterConfig sizes the simulated shared-nothing cluster.
+	ClusterConfig = cluster.Config
+	// OptimizerOptions controls the LA-aware cost-based optimizer.
+	OptimizerOptions = opt.Options
+	// Result is one query's result set plus its timings and cluster stats.
+	Result = core.Result
+	// Row is a tuple of SQL values.
+	Row = value.Row
+	// Value is a single SQL value (scalar, vector, or matrix).
+	Value = value.Value
+	// Vector is a dense float64 vector.
+	Vector = linalg.Vector
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = linalg.Matrix
+	// DML is a session of the SystemML-flavoured matrix language that
+	// compiles to the engine's extended SQL.
+	DML = dml.Session
+)
+
+// Open creates an empty database.
+func Open(cfg Config) *Database { return core.Open(cfg) }
+
+// DefaultConfig simulates the paper's 10-node cluster with the full
+// optimizer enabled.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewDML opens a DML session over the database.
+func NewDML(db *Database) *DML { return dml.New(db) }
+
+// Value constructors for building LoadTable batches.
+
+// Int returns an INTEGER value.
+func Int(i int64) Value { return value.Int(i) }
+
+// Double returns a DOUBLE value.
+func Double(d float64) Value { return value.Double(d) }
+
+// String returns a STRING value.
+func String(s string) Value { return value.String_(s) }
+
+// Bool returns a BOOLEAN value.
+func Bool(b bool) Value { return value.Bool(b) }
+
+// Null returns the NULL value.
+func Null() Value { return value.Null() }
+
+// VectorOf returns a VECTOR value with the given entries.
+func VectorOf(entries ...float64) Value {
+	return value.Vector(linalg.VectorOf(entries...))
+}
+
+// MatrixOf returns a MATRIX value from row slices, which must be
+// rectangular.
+func MatrixOf(rows [][]float64) (Value, error) {
+	m, err := linalg.MatrixFromRows(rows)
+	if err != nil {
+		return Null(), err
+	}
+	return value.Matrix(m), nil
+}
+
+// LabeledScalar returns a LABELED_SCALAR: a DOUBLE carrying an integer
+// label for use with VECTORIZE.
+func LabeledScalar(d float64, label int64) Value {
+	return value.LabeledScalar(d, label)
+}

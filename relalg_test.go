@@ -1,0 +1,76 @@
+package relalg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API surface: open, DDL, load,
+// query with the paper's extensions, DML session.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = 2
+	cfg.Cluster.PartitionsPerNode = 2
+	db := Open(cfg)
+
+	db.MustExec(`CREATE TABLE x (i INTEGER, x_i VECTOR[2])`)
+	db.MustExec(`CREATE TABLE y (i INTEGER, y_i DOUBLE)`)
+	pts := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	var xr, yr []Row
+	for i, p := range pts {
+		xr = append(xr, Row{Int(int64(i)), VectorOf(p...)})
+		yr = append(yr, Row{Int(int64(i)), Double(3*p[0] - 2*p[1])})
+	}
+	if err := db.LoadTable("x", xr); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadTable("y", yr); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT matrix_vector_multiply(
+			matrix_inverse(SUM(outer_product(x.x_i, x.x_i))),
+			SUM(x.x_i * y_i))
+		FROM x, y WHERE x.i = y.i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := res.Rows[0][0].Vec
+	if math.Abs(beta.At(0)-3) > 1e-9 || math.Abs(beta.At(1)+2) > 1e-9 {
+		t.Fatalf("beta = %v", beta)
+	}
+
+	// Values round-trip through the facade constructors.
+	m, err := MatrixOf([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mat.At(1, 0) != 3 {
+		t.Fatalf("matrix %v", m)
+	}
+	if _, err := MatrixOf([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	ls := LabeledScalar(2.5, 7)
+	if ls.D != 2.5 || ls.Label != 7 {
+		t.Fatalf("labeled scalar %v", ls)
+	}
+	if !Null().IsNull() || Bool(true).B != true || String("s").S != "s" {
+		t.Fatal("scalar constructors broken")
+	}
+
+	// DML over the same database.
+	s := NewDML(db)
+	if err := s.BindMatrix("m", pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run("g = t(m) %*% m"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Matrix("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != 2 || g.Cols != 2 || g.At(0, 0) != 6 {
+		t.Fatalf("gram %v", g)
+	}
+}
