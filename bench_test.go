@@ -29,6 +29,15 @@ import (
 	"relalg/internal/workload"
 )
 
+// skipIfShort gates the long, cluster-simulating benchmarks so `go test
+// -short -bench .` (and the verify script) stays fast.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping long benchmark in -short mode")
+	}
+}
+
 // benchConfig is a trimmed QuickConfig so -bench runs stay snappy.
 func benchConfig() bench.Config {
 	cfg := bench.QuickConfig()
@@ -42,6 +51,7 @@ func benchConfig() bench.Config {
 }
 
 func BenchmarkFig1Gram(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	data := map[int][][]float64{}
 	for _, d := range cfg.Dims {
@@ -57,6 +67,7 @@ func BenchmarkFig1Gram(b *testing.B) {
 }
 
 func BenchmarkFig2Regression(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	forEachPlatform(b, cfg, 0, func(b *testing.B, pl bench.Platform, d int) {
 		data := workload.DenseVectors(cfg.Seed, cfg.GramN, d)
@@ -76,6 +87,7 @@ func BenchmarkFig2Regression(b *testing.B) {
 }
 
 func BenchmarkFig3Distance(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	budget := int64(cfg.DistBudgetFactor) * int64(cfg.DistN) * int64(cfg.DistN)
 	forEachPlatform(b, cfg, budget, func(b *testing.B, pl bench.Platform, d int) {
@@ -112,6 +124,7 @@ func forEachPlatform(b *testing.B, cfg bench.Config, budget int64, body func(*te
 }
 
 func BenchmarkFig4Breakdown(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		br, err := bench.RunBreakdown(cfg)
@@ -247,6 +260,7 @@ const paper41SQL = `SELECT matrix_multiply(r_matrix, s_matrix) AS p
 
 // BenchmarkAblationLAAware executes the §4.1 query with the full optimizer.
 func BenchmarkAblationLAAware(b *testing.B) {
+	skipIfShort(b)
 	db := ablationDB(b, opt.DefaultOptions())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -259,6 +273,7 @@ func BenchmarkAblationLAAware(b *testing.B) {
 // BenchmarkAblationSizeBlind executes it with size-blind costing (A1): the
 // optimizer picks the join-predicate plan and drags the matrices through T.
 func BenchmarkAblationSizeBlind(b *testing.B) {
+	skipIfShort(b)
 	opts := opt.DefaultOptions()
 	opts.SizeAwareCosting = false
 	db := ablationDB(b, opts)
@@ -272,6 +287,7 @@ func BenchmarkAblationSizeBlind(b *testing.B) {
 
 // BenchmarkAblationNoEagerProject disables early function application (A2).
 func BenchmarkAblationNoEagerProject(b *testing.B) {
+	skipIfShort(b)
 	opts := opt.DefaultOptions()
 	opts.EagerProjection = false
 	db := ablationDB(b, opts)
@@ -306,6 +322,7 @@ func serdeDB(b *testing.B, serialize bool) *core.Database {
 // BenchmarkAblationShuffleSerde compares a shuffle-heavy join with and
 // without serialization at the exchanges (A3).
 func BenchmarkAblationShuffleSerde(b *testing.B) {
+	skipIfShort(b)
 	for _, serialize := range []bool{true, false} {
 		b.Run(fmt.Sprintf("serialize=%v", serialize), func(b *testing.B) {
 			db := serdeDB(b, serialize)
@@ -323,6 +340,7 @@ func BenchmarkAblationShuffleSerde(b *testing.B) {
 // accumulation (A4, the engine default) against the 2017-SimSQL behaviour
 // of materializing one outer-product matrix per input row.
 func BenchmarkAblationAggFusion(b *testing.B) {
+	skipIfShort(b)
 	for _, disable := range []bool{false, true} {
 		name := "fused"
 		if disable {
@@ -350,6 +368,7 @@ func BenchmarkAblationAggFusion(b *testing.B) {
 // BenchmarkEngineTPS measures raw relational throughput (tuples/sec through
 // a join + aggregation), the per-tuple overhead Figure 4 is about.
 func BenchmarkEngineTPS(b *testing.B) {
+	skipIfShort(b)
 	cfg := core.DefaultConfig()
 	cfg.Cluster = cluster.Config{Nodes: 2, PartitionsPerNode: 2, SerializeShuffles: true}
 	db := core.Open(cfg)

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printed as "file:line: [analyzer] message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pkg, r *Reporter)
+}
+
+// Analyzers lists every check the driver runs, in output order.
+var Analyzers = []*Analyzer{
+	NodeterminismAnalyzer,
+	LockcheckAnalyzer,
+	ErrcheckAnalyzer,
+	PanicpolicyAnalyzer,
+	BigcopyAnalyzer,
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil with all=true means every analyzer
+	all       bool
+	reason    string
+}
+
+func (ig *ignoreDirective) matches(analyzer string) bool {
+	return ig.all || ig.analyzers[analyzer]
+}
+
+// Reporter collects diagnostics for one package, honouring
+// "//lint:ignore <analyzer>[,<analyzer>...] <reason>" suppressions. A
+// directive applies to findings on its own line and on the line below it
+// (so it works both trailing a statement and on the line above one).
+type Reporter struct {
+	pkg      *Pkg
+	analyzer string
+	diags    []Diagnostic
+	ignores  map[string]map[int][]*ignoreDirective // file -> line -> directives
+}
+
+// NewReporter scans the package's comments for suppression directives.
+func NewReporter(p *Pkg) *Reporter {
+	r := &Reporter{pkg: p, ignores: map[string]map[int][]*ignoreDirective{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					r.diags = append(r.diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lalint",
+						Message:  "malformed lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				ig := &ignoreDirective{reason: strings.Join(fields[1:], " ")}
+				if fields[0] == "all" {
+					ig.all = true
+				} else {
+					ig.analyzers = map[string]bool{}
+					for _, a := range strings.Split(fields[0], ",") {
+						ig.analyzers[a] = true
+					}
+				}
+				byLine := r.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*ignoreDirective{}
+					r.ignores[pos.Filename] = byLine
+				}
+				end := p.Fset.Position(c.End())
+				byLine[pos.Line] = append(byLine[pos.Line], ig)
+				byLine[end.Line+1] = append(byLine[end.Line+1], ig)
+			}
+		}
+	}
+	return r
+}
+
+// Reportf records a finding for the current analyzer unless a matching
+// suppression covers its line.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	position := r.pkg.Fset.Position(pos)
+	for _, ig := range r.ignores[position.Filename][position.Line] {
+		if ig.matches(r.analyzer) {
+			return
+		}
+	}
+	r.diags = append(r.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: r.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers runs every analyzer over the package and returns the sorted
+// findings.
+func RunAnalyzers(p *Pkg) []Diagnostic {
+	r := NewReporter(p)
+	for _, a := range Analyzers {
+		r.analyzer = a.Name
+		a.Run(p, r)
+	}
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return r.diags
+}
+
+// pathHasSuffix reports whether an import path ends in one of the given
+// package suffixes (used to scope analyzers to the simulation/exec paths;
+// suffix matching keeps the testdata packages in scope for the tests).
+func pathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncName walks a stack of nodes (outermost first) and returns the
+// name of the innermost enclosing function declaration, or "" inside a
+// function literal / outside any function.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return ""
+		case *ast.FuncDecl:
+			return n.Name.Name
+		}
+	}
+	return ""
+}
+
+// inspectWithStack walks the file keeping the ancestor stack (outermost
+// first, not including the visited node itself).
+func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := visit(n, stack)
+		stack = append(stack, n)
+		if !ok {
+			// Still push/pop symmetrically; Inspect will not descend.
+			stack = stack[:len(stack)-1]
+		}
+		return ok
+	})
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// goldenCases maps each analyzer to its fixture packages. The directory
+// layout places every fixture at an import path ending in a suffix the
+// analyzer is scoped to (e.g. .../bad/internal/exec), so the packages are
+// linted exactly like the real module packages.
+var goldenCases = []struct {
+	analyzer string
+	bad, ok  string // directories relative to testdata/
+}{
+	{"nodeterminism", "nodeterminism/bad/internal/exec", "nodeterminism/ok/internal/exec"},
+	{"lockcheck", "lockcheck/bad/internal/cluster", "lockcheck/ok/internal/cluster"},
+	{"errcheck", "errcheck/bad/pkg", "errcheck/ok/pkg"},
+	{"panicpolicy", "panicpolicy/bad/internal/opt", "panicpolicy/ok/internal/opt"},
+	{"bigcopy", "bigcopy/bad/internal/exec", "bigcopy/ok/internal/exec"},
+}
+
+// loadFixture type-checks one testdata package at its natural import path.
+func loadFixture(t *testing.T, rel string) *Pkg {
+	t.Helper()
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", filepath.FromSlash(rel))
+	path := loader.ModulePath + "/cmd/lalint/testdata/" + rel
+	p, err := loader.LoadDirAs(dir, path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", rel, err)
+	}
+	return p
+}
+
+// render formats diagnostics with basenames so goldens are location-stable.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		d.Pos.Filename = filepath.Base(d.Pos.Filename)
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestGolden(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.analyzer, func(t *testing.T) {
+			p := loadFixture(t, c.bad)
+			var diags []Diagnostic
+			for _, d := range RunAnalyzers(p) {
+				if d.Analyzer == c.analyzer {
+					diags = append(diags, d)
+				}
+			}
+			if len(diags) == 0 {
+				t.Fatalf("bad fixture %s produced no %s findings", c.bad, c.analyzer)
+			}
+			got := render(diags)
+			goldenPath := filepath.Join("testdata", c.analyzer, "golden.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.analyzer, func(t *testing.T) {
+			p := loadFixture(t, c.ok)
+			if diags := RunAnalyzers(p); len(diags) != 0 {
+				t.Errorf("ok fixture %s produced findings:\n%s", c.ok, render(diags))
+			}
+		})
+	}
+}
+
+// TestDriverExitCodes runs the real driver entry point: findings must make
+// the exit status 1, a clean package 0.
+func TestDriverExitCodes(t *testing.T) {
+	if got := run([]string{"./cmd/lalint/testdata/errcheck/bad/pkg"}); got != 1 {
+		t.Errorf("driver on bad fixture: exit %d, want 1", got)
+	}
+	if got := run([]string{"./cmd/lalint/testdata/errcheck/ok/pkg"}); got != 0 {
+		t.Errorf("driver on ok fixture: exit %d, want 0", got)
+	}
+}
+
+// TestMalformedDirective checks that a reasonless lint:ignore is itself a
+// finding from the "lalint" pseudo-analyzer.
+func TestMalformedDirective(t *testing.T) {
+	p := loadFixture(t, "malformed/pkg")
+	diags := RunAnalyzers(p)
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (malformed directive + unsuppressed finding):\n%s", len(diags), render(diags))
+	}
+	if diags[0].Analyzer != "lalint" && diags[1].Analyzer != "lalint" {
+		t.Errorf("no lalint malformed-directive finding in:\n%s", render(diags))
+	}
+}

@@ -1,0 +1,96 @@
+// Command lalint is the project's static-analysis gate: a pure-stdlib
+// (go/parser + go/types, no go/packages) walker over the module with
+// project-specific analyzers for the determinism and concurrency contracts
+// the simulated cluster depends on.
+//
+// Usage:
+//
+//	go run ./cmd/lalint ./...              # whole module
+//	go run ./cmd/lalint ./internal/...     # one subtree
+//
+// Findings print as "file:line: [analyzer] message" and make the exit status
+// non-zero. Suppress an individual finding with a comment on, or directly
+// above, the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func main() {
+	list := flag.Bool("analyzers", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(run(patterns))
+}
+
+func run(patterns []string) int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	status := 0
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			status = 2
+			continue
+		}
+		for _, d := range RunAnalyzers(p) {
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	return status
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lalint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,26 @@
+// Package exec is a lalint golden-file fixture: every construct below must
+// be flagged by the bigcopy analyzer (block is 256 bytes, over the 128-byte
+// threshold).
+package exec
+
+type block struct {
+	cells [32]float64
+}
+
+// Sum takes the 256-byte block by value on a hot path.
+func Sum(b block) float64 {
+	var t float64
+	for _, c := range b.cells {
+		t += c
+	}
+	return t
+}
+
+// Total copies a 256-byte block per element in its range loop.
+func Total(blocks []block) float64 {
+	var t float64
+	for _, b := range blocks {
+		t += Sum(b)
+	}
+	return t
+}

@@ -1,0 +1,37 @@
+// Package exec is a lalint golden-file fixture: the same hot-path loops as
+// the bad package, fixed with pointers/indexes or suppressed with a
+// reasoned //lint:ignore directive. It must produce zero findings.
+package exec
+
+type block struct {
+	cells [32]float64
+}
+
+// Sum takes the block by pointer (the clean fix).
+func Sum(b *block) float64 {
+	var t float64
+	for _, c := range b.cells {
+		t += c
+	}
+	return t
+}
+
+// SumByValue documents why this particular copy is sanctioned.
+//
+//lint:ignore bigcopy fixture: called once per query, not per row
+func SumByValue(b block) float64 {
+	var t float64
+	for _, c := range b.cells {
+		t += c
+	}
+	return t
+}
+
+// Total ranges over indexes (the clean fix, no directive needed).
+func Total(blocks []block) float64 {
+	var t float64
+	for i := range blocks {
+		t += Sum(&blocks[i])
+	}
+	return t
+}

@@ -1,0 +1,15 @@
+// Package pkg is a lalint golden-file fixture: every construct below must
+// be flagged by the errcheck analyzer.
+package pkg
+
+import "os"
+
+// Drop discards error results on the floor, both deferred and inline.
+func Drop(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	os.Remove(path)
+}

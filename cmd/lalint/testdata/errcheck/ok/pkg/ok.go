@@ -1,0 +1,19 @@
+// Package pkg is a lalint golden-file fixture: the same calls as the bad
+// package, with errors handled, explicitly discarded, or suppressed with a
+// reasoned //lint:ignore directive. It must produce zero findings.
+package pkg
+
+import "os"
+
+// Drop handles or visibly discards every error result.
+func Drop(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	// An explicit discard is allowed: the _ makes the decision visible.
+	defer func() { _ = f.Close() }()
+	//lint:ignore errcheck fixture: removal failure of a temp file is not actionable
+	os.Remove(path)
+	return nil
+}

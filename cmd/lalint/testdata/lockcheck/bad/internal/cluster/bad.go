@@ -1,0 +1,31 @@
+// Package cluster is a lalint golden-file fixture: every construct below
+// must be flagged by the lockcheck analyzer.
+package cluster
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the mutex embedded in its parameter.
+func ByValue(g guarded) int {
+	return g.n
+}
+
+// Launch captures the loop variable in a goroutine closure and writes a
+// captured shared variable without a lock.
+func Launch(items []int) int {
+	var total int
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += i
+		}()
+	}
+	wg.Wait()
+	return total
+}

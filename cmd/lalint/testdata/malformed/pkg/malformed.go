@@ -1,0 +1,11 @@
+// Package pkg is a lalint fixture: the directive below has no reason, so it
+// is rejected and the finding it tried to cover still fires.
+package pkg
+
+import "os"
+
+// Drop tries to suppress errcheck without giving a reason.
+func Drop(path string) {
+	//lint:ignore errcheck
+	os.Remove(path)
+}

@@ -1,0 +1,35 @@
+// Package exec is a lalint golden-file fixture: every construct below must
+// be flagged by the nodeterminism analyzer.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock inside a simulation path.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Draw uses the process-seeded global generator.
+func Draw() float64 {
+	return rand.Float64()
+}
+
+// PrintAll lets map iteration order reach output directly.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Collect appends in map order and never sorts the result.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package opt is a lalint golden-file fixture: the plain panic below must
+// be flagged by the panicpolicy analyzer, while the Must* helper is exempt.
+package opt
+
+// Reorder panics in library code instead of returning an error.
+func Reorder(n int) int {
+	if n < 0 {
+		panic("opt: negative relation count")
+	}
+	return n
+}
+
+// MustReorder is a sanctioned panicking helper: the Must prefix is the
+// call-site opt-in, so it is not flagged.
+func MustReorder(n int) int {
+	if n < 0 {
+		panic("opt: negative relation count")
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+// Package opt is a lalint golden-file fixture: the same panic as the bad
+// package, suppressed with a reasoned //lint:ignore directive, plus the
+// error-returning fix. It must produce zero findings.
+package opt
+
+import "errors"
+
+// Reorder returns an error instead of panicking (the clean fix).
+func Reorder(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("opt: negative relation count")
+	}
+	return n, nil
+}
+
+// ReorderUnchecked documents why this particular panic is sanctioned.
+func ReorderUnchecked(n int) int {
+	if n < 0 {
+		//lint:ignore panicpolicy fixture: unreachable by construction, validated by the parser
+		panic("opt: negative relation count")
+	}
+	return n
+}

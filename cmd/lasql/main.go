@@ -57,7 +57,9 @@ func main() {
 				os.Exit(1)
 			}
 			n, err := csvio.Load(db, table, f, true)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "lasql: loading %s: %v\n", spec, err)
 				os.Exit(1)

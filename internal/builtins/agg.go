@@ -41,11 +41,22 @@ func IsAggregate(name string) bool {
 	return ok
 }
 
-func registerAgg(a *AggSpec) {
+// registerAgg records a, reporting a duplicate name as an error so callers
+// that extend the registry at runtime can handle the collision.
+func registerAgg(a *AggSpec) error {
 	if _, dup := aggRegistry[a.Name]; dup {
-		panic("builtins: duplicate aggregate " + a.Name)
+		return fmt.Errorf("builtins: duplicate aggregate %s", a.Name)
 	}
 	aggRegistry[a.Name] = a
+	return nil
+}
+
+// mustRegisterAgg is the init-time wrapper: the package's own aggregate table
+// is fixed at compile time, so a duplicate there is a programming error.
+func mustRegisterAgg(a *AggSpec) {
+	if err := registerAgg(a); err != nil {
+		panic(err)
+	}
 }
 
 // --- SUM --------------------------------------------------------------
@@ -397,7 +408,7 @@ func (s *matrixizeState) Final() (value.Value, error) {
 }
 
 func init() {
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name: "sum",
 		ResultType: func(in types.T) (types.T, error) {
 			switch {
@@ -412,12 +423,12 @@ func init() {
 		},
 		New: func() AggState { return &sumState{} },
 	})
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name:       "count",
 		ResultType: func(types.T) (types.T, error) { return types.TInt, nil },
 		New:        func() AggState { return &countState{} },
 	})
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name: "avg",
 		ResultType: func(in types.T) (types.T, error) {
 			switch {
@@ -443,17 +454,17 @@ func init() {
 		}
 		return types.T{}, fmt.Errorf("%w: MIN/MAX over %s", types.ErrTypeMismatch, in)
 	}
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name:       "min",
 		ResultType: minMaxType,
 		New:        func() AggState { return &extremeState{want: -1} },
 	})
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name:       "max",
 		ResultType: minMaxType,
 		New:        func() AggState { return &extremeState{want: 1} },
 	})
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name: "vectorize",
 		ResultType: func(in types.T) (types.T, error) {
 			if in.Base != types.LabeledScalar {
@@ -463,7 +474,7 @@ func init() {
 		},
 		New: newVectorize,
 	})
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name: "rowmatrix",
 		ResultType: func(in types.T) (types.T, error) {
 			if in.Base != types.Vector {
@@ -473,7 +484,7 @@ func init() {
 		},
 		New: func() AggState { return newMatrixize(false) },
 	})
-	registerAgg(&AggSpec{
+	mustRegisterAgg(&AggSpec{
 		Name: "colmatrix",
 		ResultType: func(in types.T) (types.T, error) {
 			if in.Base != types.Vector {

@@ -17,6 +17,7 @@ package builtins
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"relalg/internal/linalg"
 	"relalg/internal/types"
@@ -39,20 +40,33 @@ func Lookup(name string) (*Builtin, bool) {
 	return b, ok
 }
 
-// Names returns all registered scalar built-in names (for error messages).
+// Names returns all registered scalar built-in names, sorted (for error
+// messages and deterministic listings).
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
-func register(b *Builtin) {
+// register records b, reporting a duplicate name as an error so callers that
+// extend the registry at runtime can handle the collision.
+func register(b *Builtin) error {
 	if _, dup := registry[b.Name]; dup {
-		panic("builtins: duplicate registration of " + b.Name)
+		return fmt.Errorf("builtins: duplicate registration of %s", b.Name)
 	}
 	registry[b.Name] = b
+	return nil
+}
+
+// mustRegister is the init-time wrapper: the package's own function table is
+// fixed at compile time, so a duplicate there is a programming error.
+func mustRegister(b *Builtin) {
+	if err := register(b); err != nil {
+		panic(err)
+	}
 }
 
 // Shorthand constructors for signature templates.
@@ -91,7 +105,7 @@ func argInt(args []value.Value, i int) (int64, error) {
 
 func init() {
 	// --- Matrix/vector products -------------------------------------------
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "matrix_multiply",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), matT("b", "c")}, Result: matT("a", "c")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -110,7 +124,7 @@ func init() {
 			return value.Matrix(out), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "matrix_vector_multiply",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), vecT("b")}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -129,7 +143,7 @@ func init() {
 			return value.Vector(out), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "vector_matrix_multiply",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), matT("a", "b")}, Result: vecT("b")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -148,7 +162,7 @@ func init() {
 			return value.Vector(out), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "inner_product",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), vecT("a")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -167,7 +181,7 @@ func init() {
 			return value.Double(d), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "outer_product",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), vecT("b")}, Result: matT("a", "b")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -184,7 +198,7 @@ func init() {
 	})
 
 	// --- Structural transforms --------------------------------------------
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "trans_matrix",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: matT("b", "a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -195,7 +209,7 @@ func init() {
 			return value.Matrix(m.Transpose()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "matrix_inverse",
 		Sig:  types.Signature{Params: []types.T{matT("a", "a")}, Result: matT("a", "a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -210,7 +224,7 @@ func init() {
 			return value.Matrix(inv), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "diag",
 		Sig:  types.Signature{Params: []types.T{matT("a", "a")}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -225,7 +239,7 @@ func init() {
 			return value.Vector(d), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "diag_matrix",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: matT("a", "a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -236,7 +250,7 @@ func init() {
 			return value.Matrix(linalg.DiagMatrix(v)), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "row_matrix",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TMatrix(types.KnownDim(1), types.VarDim("a"))},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -247,7 +261,7 @@ func init() {
 			return value.Matrix(v.AsRowMatrix()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "col_matrix",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TMatrix(types.VarDim("a"), types.KnownDim(1))},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -260,7 +274,7 @@ func init() {
 	})
 
 	// --- Labels and element access (§3.3) ----------------------------------
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "label_scalar",
 		Sig:  types.Signature{Params: []types.T{types.TDouble, types.TInt}, Result: types.TLabeledScalar},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -275,7 +289,7 @@ func init() {
 			return value.LabeledScalar(d, l), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "label_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), types.TInt}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -290,7 +304,7 @@ func init() {
 			return value.LabeledVector(v, l), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "get_scalar",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), types.TInt}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -308,7 +322,7 @@ func init() {
 			return value.Double(v.At(int(i))), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "get_entry",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), types.TInt, types.TInt}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -330,7 +344,7 @@ func init() {
 			return value.Double(m.At(int(i), int(j))), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "get_row",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), types.TInt}, Result: vecT("b")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -348,7 +362,7 @@ func init() {
 			return value.Vector(m.RowVector(int(i))), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "get_col",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), types.TInt}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -366,7 +380,7 @@ func init() {
 			return value.Vector(m.ColVector(int(j))), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "get_label",
 		Sig:  types.Signature{Params: []types.T{types.TAny}, Result: types.TInt},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -379,7 +393,7 @@ func init() {
 	})
 
 	// --- Shape introspection -------------------------------------------
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "vector_size",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TInt},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -390,7 +404,7 @@ func init() {
 			return value.Int(int64(v.Len())), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "matrix_rows",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TInt},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -401,7 +415,7 @@ func init() {
 			return value.Int(int64(m.Rows)), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "matrix_cols",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TInt},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -414,7 +428,7 @@ func init() {
 	})
 
 	// --- Reductions ---------------------------------------------------
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "sum_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -425,7 +439,7 @@ func init() {
 			return value.Double(v.Sum()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "sum_matrix",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -436,7 +450,7 @@ func init() {
 			return value.Double(m.Sum()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "min_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -447,7 +461,7 @@ func init() {
 			return value.Double(v.Min()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "max_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -458,7 +472,7 @@ func init() {
 			return value.Double(v.Max()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "arg_min",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TInt},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -469,7 +483,7 @@ func init() {
 			return value.Int(int64(v.ArgMin())), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "arg_max",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TInt},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -480,7 +494,7 @@ func init() {
 			return value.Int(int64(v.ArgMax())), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "trace",
 		Sig:  types.Signature{Params: []types.T{matT("a", "a")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -495,7 +509,7 @@ func init() {
 			return value.Double(tr), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "norm2",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -506,7 +520,7 @@ func init() {
 			return value.Double(v.Norm2()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "frobenius_norm",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -517,7 +531,7 @@ func init() {
 			return value.Double(m.Norm2()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "row_mins",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -528,7 +542,7 @@ func init() {
 			return value.Vector(m.RowMins()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "row_maxs",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -539,7 +553,7 @@ func init() {
 			return value.Vector(m.RowMaxs()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "row_sums",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -550,7 +564,7 @@ func init() {
 			return value.Vector(m.RowSums()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "col_sums",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("b")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -561,7 +575,7 @@ func init() {
 			return value.Vector(m.ColSums()), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "min_pairwise",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), vecT("a")}, Result: vecT("a")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -582,7 +596,7 @@ func init() {
 	})
 
 	// --- Constructors ----------------------------------------------------
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "identity_matrix",
 		Sig:  types.Signature{Params: []types.T{types.TInt}, Result: matT("", "")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -596,7 +610,7 @@ func init() {
 			return value.Matrix(linalg.Identity(int(n))), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "zeros_vector",
 		Sig:  types.Signature{Params: []types.T{types.TInt}, Result: vecT("")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -610,7 +624,7 @@ func init() {
 			return value.Vector(linalg.NewVector(int(n))), nil
 		},
 	})
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "zeros_matrix",
 		Sig:  types.Signature{Params: []types.T{types.TInt, types.TInt}, Result: matT("", "")},
 		Eval: func(args []value.Value) (value.Value, error) {
@@ -631,7 +645,7 @@ func init() {
 
 	// --- Scalar math -------------------------------------------------------
 	mathFn := func(name string, f func(float64) float64) {
-		register(&Builtin{
+		mustRegister(&Builtin{
 			Name: name,
 			Sig:  types.Signature{Params: []types.T{types.TDouble}, Result: types.TDouble},
 			Eval: func(args []value.Value) (value.Value, error) {
@@ -647,7 +661,7 @@ func init() {
 	mathFn("abs", math.Abs)
 	mathFn("exp", math.Exp)
 	mathFn("ln", math.Log)
-	register(&Builtin{
+	mustRegister(&Builtin{
 		Name: "pow",
 		Sig:  types.Signature{Params: []types.T{types.TDouble, types.TDouble}, Result: types.TDouble},
 		Eval: func(args []value.Value) (value.Value, error) {

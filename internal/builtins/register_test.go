@@ -1,0 +1,35 @@
+package builtins
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRegisterDuplicateIsError(t *testing.T) {
+	// Colliding with an existing name must not clobber the registry.
+	before, _ := Lookup("matrix_multiply")
+	if err := register(&Builtin{Name: "matrix_multiply"}); err == nil {
+		t.Fatal("register accepted a duplicate scalar builtin")
+	}
+	if after, _ := Lookup("matrix_multiply"); after != before {
+		t.Fatal("failed duplicate registration replaced the original builtin")
+	}
+
+	beforeAgg, _ := LookupAgg("sum")
+	if err := registerAgg(&AggSpec{Name: "sum"}); err == nil {
+		t.Fatal("registerAgg accepted a duplicate aggregate")
+	}
+	if afterAgg, _ := LookupAgg("sum"); afterAgg != beforeAgg {
+		t.Fatal("failed duplicate registration replaced the original aggregate")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no builtins registered")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+}

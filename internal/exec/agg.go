@@ -1,7 +1,7 @@
 package exec
 
 import (
-	"time"
+	"sort"
 
 	"relalg/internal/builtins"
 	"relalg/internal/plan"
@@ -27,7 +27,7 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	}
 
 	// Phase 1: local pre-aggregation.
-	startLocal := time.Now()
+	stopLocal := ctx.Timings.Track("aggregate")
 	locals := make([]map[uint64][]*aggGroup, len(in.Parts))
 	err = ctx.Cluster.Parallel(func(part int) error {
 		groups := map[uint64][]*aggGroup{}
@@ -58,13 +58,13 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.Timings.Add("aggregate", time.Since(startLocal))
+	stopLocal()
 
 	// Phase 2: move partial states to their destination partition. When the
 	// input is already partitioned on (a subset of) the group keys — or
 	// there are no group keys and everything should meet on partition 0 —
 	// the move is local.
-	startShuffle := time.Now()
+	stopShuffle := ctx.Timings.Track("aggregate-shuffle")
 	p := ctx.Cluster.Partitions()
 	dest := func(h uint64) int { return int(h % uint64(p)) }
 	skipShuffle := in.Single || groupingAligned(in.HashKeys, a.GroupBy)
@@ -89,8 +89,12 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	} else {
 		// Charge the movement: every group whose destination differs from
 		// its source crosses the network as (key row + partial values).
+		// Hashes iterate in sorted order so partial states merge in the
+		// same sequence every run — floating-point accumulation order, and
+		// therefore the produced values, stay seed-deterministic.
 		for src, groups := range locals {
-			for h, gs := range groups {
+			for _, h := range sortedHashes(groups) {
+				gs := groups[h]
 				d := dest(h)
 				for _, g := range gs {
 					if d != src {
@@ -117,15 +121,16 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 			}
 		}
 	}
-	ctx.Timings.Add("aggregate-shuffle", time.Since(startShuffle))
+	stopShuffle()
 
-	// Phase 3: finalize.
-	startFinal := time.Now()
+	// Phase 3: finalize. Sorted hash order keeps output row order (and so
+	// downstream shuffles and result files) identical across runs.
+	stopFinal := ctx.Timings.Track("aggregate")
 	out := make([][]value.Row, p)
 	err = ctx.Cluster.Parallel(func(part int) error {
 		var rows []value.Row
-		for _, gs := range merged[part] {
-			for _, g := range gs {
+		for _, h := range sortedHashes(merged[part]) {
+			for _, g := range merged[part][h] {
 				row := make(value.Row, 0, len(a.Out))
 				row = append(row, g.keys...)
 				for _, st := range g.states {
@@ -166,13 +171,25 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	if err := ctx.Cluster.ChargeTuples(produced); err != nil {
 		return nil, err
 	}
-	ctx.Timings.Add("aggregate", time.Since(startFinal))
+	stopFinal()
 
 	rel := &Relation{Schema: a.Out, Parts: out}
 	if len(a.GroupBy) == 0 {
 		rel.Single = true
 	}
 	return rel, nil
+}
+
+// sortedHashes returns the keys of a group-hash map in ascending order, the
+// iteration order every phase uses so merge and output sequences are
+// deterministic.
+func sortedHashes(groups map[uint64][]*aggGroup) []uint64 {
+	hs := make([]uint64, 0, len(groups))
+	for h := range groups {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs
 }
 
 func relEmpty(parts [][]value.Row) bool {

@@ -68,6 +68,16 @@ type Timings struct {
 // NewTimings returns an empty timing table.
 func NewTimings() *Timings { return &Timings{m: map[string]time.Duration{}} }
 
+// Track starts a stopwatch for label and returns the function that stops it
+// and charges the elapsed time. It is the only place the executor reads the
+// wall clock: operator timings are measurement output (Figure 4's
+// breakdown), never simulation state, so determinism of results is
+// unaffected.
+func (t *Timings) Track(label string) func() {
+	start := time.Now() //lint:ignore nodeterminism wall-clock here is the measured output (operator timings), not simulation state
+	return func() { t.Add(label, time.Since(start)) }
+}
+
 // Add charges d to label.
 func (t *Timings) Add(label string, d time.Duration) {
 	if t == nil {
@@ -159,7 +169,7 @@ func Run(ctx *Context, n plan.Node) (*Relation, error) {
 }
 
 func runScan(ctx *Context, s *plan.Scan) (*Relation, error) {
-	start := time.Now()
+	defer ctx.Timings.Track("scan")()
 	parts, err := ctx.Tables.TableParts(s.Table.Name)
 	if err != nil {
 		return nil, err
@@ -177,7 +187,6 @@ func runScan(ctx *Context, s *plan.Scan) (*Relation, error) {
 			rel.HashKeys = []string{keyCol.String()}
 		}
 	}
-	ctx.Timings.Add("scan", time.Since(start))
 	return rel, nil
 }
 
@@ -209,7 +218,7 @@ func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	defer ctx.Timings.Track("project")()
 	out := make([][]value.Row, len(in.Parts))
 	err = ctx.Cluster.Parallel(func(part int) error {
 		rows := make([]value.Row, 0, len(in.Parts[part]))
@@ -233,7 +242,6 @@ func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
 	if err := ctx.Cluster.ChargeTuples(int64(in.NumRows())); err != nil {
 		return nil, err
 	}
-	ctx.Timings.Add("project", time.Since(start))
 	// A projection keeps the physical placement of its input; preserved
 	// hash keys would require rewriting them through the projection, so we
 	// conservatively keep only Single.
@@ -245,7 +253,7 @@ func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	defer ctx.Timings.Track("filter")()
 	out := make([][]value.Row, len(in.Parts))
 	err = ctx.Cluster.Parallel(func(part int) error {
 		var rows []value.Row
@@ -264,7 +272,6 @@ func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.Timings.Add("filter", time.Since(start))
 	return &Relation{Schema: f.Schema(), Parts: out, HashKeys: in.HashKeys, Single: in.Single}, nil
 }
 
@@ -273,7 +280,7 @@ func runSort(ctx *Context, s *plan.Sort) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	defer ctx.Timings.Track("sort")()
 	rows := ctx.Cluster.Gather(in.Parts)
 	var sortErr error
 	sort.SliceStable(rows, func(i, j int) bool {
@@ -298,7 +305,6 @@ func runSort(ctx *Context, s *plan.Sort) (*Relation, error) {
 	}
 	parts := make([][]value.Row, ctx.Cluster.Partitions())
 	parts[0] = rows
-	ctx.Timings.Add("sort", time.Since(start))
 	return &Relation{Schema: s.Schema(), Parts: parts, Single: true}, nil
 }
 
@@ -320,13 +326,12 @@ func runLimit(ctx *Context, l *plan.Limit) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	defer ctx.Timings.Track("limit")()
 	rows := ctx.Cluster.Gather(in.Parts)
 	if len(rows) > l.N {
 		rows = rows[:l.N]
 	}
 	parts := make([][]value.Row, ctx.Cluster.Partitions())
 	parts[0] = rows
-	ctx.Timings.Add("limit", time.Since(start))
 	return &Relation{Schema: l.Schema(), Parts: parts, Single: true}, nil
 }

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"sync"
-	"time"
 
 	"relalg/internal/plan"
 	"relalg/internal/value"
@@ -111,7 +110,7 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	defer ctx.Timings.Track("join")()
 
 	lkeyStr := keyStrings(j.LKeys)
 	rkeyStr := keyStrings(j.RKeys)
@@ -218,7 +217,6 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 	if err != nil {
 		return nil, err
 	}
-	ctx.Timings.Add("join", time.Since(start))
 	rel := &Relation{Schema: j.Out, Parts: out, HashKeys: lkeyStr}
 	if proj != nil {
 		// The projection invalidates the key-expression column indexes.
@@ -299,7 +297,7 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	defer ctx.Timings.Track("join")()
 
 	// Broadcast the smaller side (by rows); the bigger side stays in place.
 	broadcastRight := right.NumRows() <= left.NumRows()
@@ -357,7 +355,6 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 	if err != nil {
 		return nil, err
 	}
-	ctx.Timings.Add("join", time.Since(start))
 	rel := &Relation{Schema: c.Out, Parts: out}
 	if proj != nil {
 		rel.Schema = proj.out

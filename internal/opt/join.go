@@ -107,7 +107,10 @@ func (o *Optimizer) planMultiJoin(mj *plan.MultiJoin, consumed []plan.Expr) (pla
 			st.residuals = append(st.residuals, &conjunct{expr: c, rels: mask})
 		case 1:
 			rel := subsetBits(mask)[0]
-			local := plan.Remap(c, st.globalToLocal(rel))
+			local, err := plan.Remap(c, st.globalToLocal(rel))
+			if err != nil {
+				return nil, nil, err
+			}
 			st.inputs[rel] = &plan.Filter{Input: st.inputs[rel], Pred: local}
 			st.rowsAfter[rel] = math.Max(1, st.rowsAfter[rel]*st.pushdownSelectivity(rel, c))
 		default:
@@ -152,8 +155,15 @@ func (o *Optimizer) planMultiJoin(mj *plan.MultiJoin, consumed []plan.Expr) (pla
 	full := uint(1)<<st.nrel - 1
 	if st.nrel == 1 {
 		// Degenerate single input (shouldn't occur from the builder, but be safe).
-		node, colmap, computed := st.build(1)
-		return node, st.rewriteConsumers(consumed, consumerOf, colmap, computed), nil
+		node, colmap, computed, err := st.build(1)
+		if err != nil {
+			return nil, nil, err
+		}
+		rewritten, err := st.rewriteConsumers(consumed, consumerOf, colmap, computed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return node, rewritten, nil
 	}
 
 	// DP join enumeration (greedy fallback for very large join sets).
@@ -163,11 +173,18 @@ func (o *Optimizer) planMultiJoin(mj *plan.MultiJoin, consumed []plan.Expr) (pla
 		st.greedy(full)
 	}
 
-	node, colmap, computed := st.build(full)
-	return node, st.rewriteConsumers(consumed, consumerOf, colmap, computed), nil
+	node, colmap, computed, err := st.build(full)
+	if err != nil {
+		return nil, nil, err
+	}
+	rewritten, err := st.rewriteConsumers(consumed, consumerOf, colmap, computed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, rewritten, nil
 }
 
-func (st *joinState) rewriteConsumers(consumed []plan.Expr, consumerOf []int, colmap map[int]int, computed map[int]int) []plan.Expr {
+func (st *joinState) rewriteConsumers(consumed []plan.Expr, consumerOf []int, colmap map[int]int, computed map[int]int) ([]plan.Expr, error) {
 	out := make([]plan.Expr, len(consumed))
 	for i := range consumed {
 		ci := consumerOf[i]
@@ -176,9 +193,13 @@ func (st *joinState) rewriteConsumers(consumed []plan.Expr, consumerOf []int, co
 			out[i] = &plan.Col{Idx: pos, Name: fmt.Sprintf("expr%d", ci), T: cons.expr.Type()}
 			continue
 		}
-		out[i] = plan.Remap(cons.expr, colmap)
+		e, err := plan.Remap(cons.expr, colmap)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
 	}
-	return out
+	return out, nil
 }
 
 func (st *joinState) maskOf(cols []int) uint {
@@ -212,9 +233,12 @@ func (st *joinState) pushdownSelectivity(rel int, c plan.Expr) float64 {
 			colSide = be.R
 		}
 		if col, ok := colSide.(*plan.Col); ok {
-			local := plan.Remap(col, st.globalToLocal(rel))
-			d := distinctOf(st.inputs[rel], local, st.rowsAfter[rel])
-			return 1 / d
+			// A remap failure here is only an estimation miss; fall back to
+			// the default selectivity rather than failing the plan.
+			if local, err := plan.Remap(col, st.globalToLocal(rel)); err == nil {
+				d := distinctOf(st.inputs[rel], local, st.rowsAfter[rel])
+				return 1 / d
+			}
 		}
 	}
 	return 1.0 / 3
@@ -240,8 +264,10 @@ func (st *joinState) sideDistinct(side plan.Expr, mask uint) float64 {
 	bits := subsetBits(mask)
 	if len(bits) == 1 {
 		rel := bits[0]
-		local := plan.Remap(side, st.globalToLocal(rel))
-		return distinctOf(st.inputs[rel], local, st.rowsAfter[rel])
+		// On a remap failure fall through to the coarse product estimate.
+		if local, err := plan.Remap(side, st.globalToLocal(rel)); err == nil {
+			return distinctOf(st.inputs[rel], local, st.rowsAfter[rel])
+		}
 	}
 	r := 1.0
 	for _, rel := range bits {
@@ -447,13 +473,19 @@ func (st *joinState) greedy(full uint) {
 // build constructs the plan for subset s, returning the node, the mapping
 // from kept global column ids to output positions, and the mapping from
 // computed consumer ids to output positions.
-func (st *joinState) build(s uint) (plan.Node, map[int]int, map[int]int) {
+func (st *joinState) build(s uint) (plan.Node, map[int]int, map[int]int, error) {
 	if popcount(s) == 1 {
 		return st.buildLeaf(subsetBits(s)[0], s)
 	}
 	sp := st.split[s]
-	ln, lmap, lcomp := st.build(sp[0])
-	rn, rmap, rcomp := st.build(sp[1])
+	ln, lmap, lcomp, err := st.build(sp[0])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rn, rmap, rcomp, err := st.build(sp[1])
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	lwidth := len(ln.Schema())
 
 	// Map global ids and computed consumers into the concatenated schema.
@@ -481,20 +513,44 @@ func (st *joinState) build(s uint) (plan.Node, map[int]int, map[int]int) {
 		}
 		switch {
 		case e.isEdge && e.m1&sp[0] == e.m1 && e.m2&sp[1] == e.m2:
-			lkeys = append(lkeys, plan.Remap(e.e1, lmap))
-			rkeys = append(rkeys, plan.Remap(e.e2, rmap))
+			lk, err := plan.Remap(e.e1, lmap)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rk, err := plan.Remap(e.e2, rmap)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			lkeys = append(lkeys, lk)
+			rkeys = append(rkeys, rk)
 		case e.isEdge && e.m2&sp[0] == e.m2 && e.m1&sp[1] == e.m1:
-			lkeys = append(lkeys, plan.Remap(e.e2, lmap))
-			rkeys = append(rkeys, plan.Remap(e.e1, rmap))
+			lk, err := plan.Remap(e.e2, lmap)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rk, err := plan.Remap(e.e1, rmap)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			lkeys = append(lkeys, lk)
+			rkeys = append(rkeys, rk)
 		default:
-			residual = append(residual, plan.Remap(e.expr, comb))
+			res, err := plan.Remap(e.expr, comb)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			residual = append(residual, res)
 		}
 	}
 	for _, rc := range st.residuals {
 		if rc.rels&s != rc.rels || (rc.rels != 0 && (rc.rels&sp[0] == rc.rels || rc.rels&sp[1] == rc.rels)) {
 			continue
 		}
-		residual = append(residual, plan.Remap(rc.expr, comb))
+		res, err := plan.Remap(rc.expr, comb)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		residual = append(residual, res)
 	}
 
 	// Concatenated join schema.
@@ -513,7 +569,7 @@ func (st *joinState) build(s uint) (plan.Node, map[int]int, map[int]int) {
 }
 
 // buildLeaf wraps one input with pruning/eager projection as needed.
-func (st *joinState) buildLeaf(rel int, s uint) (plan.Node, map[int]int, map[int]int) {
+func (st *joinState) buildLeaf(rel int, s uint) (plan.Node, map[int]int, map[int]int, error) {
 	node := st.inputs[rel]
 	local := st.globalToLocal(rel)
 	// comb maps global ids straight to the leaf's schema positions.
@@ -524,7 +580,7 @@ func (st *joinState) buildLeaf(rel int, s uint) (plan.Node, map[int]int, map[int
 // keepCols(s), carries forward already-computed consumers, and computes the
 // newly eligible ones. comb maps global column ids to node schema positions;
 // childComputed maps consumer ids to node schema positions.
-func (st *joinState) projectSubset(s uint, node plan.Node, comb map[int]int, childComputed map[int]int) (plan.Node, map[int]int, map[int]int) {
+func (st *joinState) projectSubset(s uint, node plan.Node, comb map[int]int, childComputed map[int]int) (plan.Node, map[int]int, map[int]int, error) {
 	keep := st.keepCols(s)
 	elig := st.eligible(s)
 
@@ -536,7 +592,7 @@ func (st *joinState) projectSubset(s uint, node plan.Node, comb map[int]int, chi
 	for _, g := range keep {
 		pos, ok := comb[g]
 		if !ok {
-			panic(fmt.Sprintf("opt: keep column %d not present in subset output", g))
+			return nil, nil, nil, fmt.Errorf("opt: keep column %d not present in subset output", g)
 		}
 		gc := st.gcols[g]
 		exprs = append(exprs, &plan.Col{Idx: pos, Name: gc.name, T: gc.t})
@@ -548,7 +604,11 @@ func (st *joinState) projectSubset(s uint, node plan.Node, comb map[int]int, chi
 		if pos, ok := childComputed[ci]; ok {
 			exprs = append(exprs, &plan.Col{Idx: pos, Name: name, T: st.consumers[ci].expr.Type()})
 		} else {
-			exprs = append(exprs, plan.Remap(st.consumers[ci].expr, comb))
+			e, err := plan.Remap(st.consumers[ci].expr, comb)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			exprs = append(exprs, e)
 		}
 		computed[ci] = len(out)
 		out = append(out, plan.Field{Name: name, T: st.consumers[ci].expr.Type()})
@@ -565,10 +625,10 @@ func (st *joinState) projectSubset(s uint, node plan.Node, comb map[int]int, chi
 			}
 		}
 		if identity {
-			return node, colmap, computed
+			return node, colmap, computed, nil
 		}
 	}
-	return &plan.Project{Input: node, Exprs: exprs, Out: out}, colmap, computed
+	return &plan.Project{Input: node, Exprs: exprs, Out: out}, colmap, computed, nil
 }
 
 func popcount(s uint) int {

@@ -267,32 +267,54 @@ func sortInts(xs []int) {
 
 // Remap returns a copy of e with every column index i replaced by mapping[i].
 // It is how the optimizer rebinds expressions after join reordering and
-// column pruning. A missing mapping is a programming error and panics.
-func Remap(e Expr, mapping map[int]int) Expr {
+// column pruning. A missing mapping or an unknown expression type indicates
+// a planner bug; it is reported as an error so the engine can surface it to
+// the query instead of crashing the process.
+func Remap(e Expr, mapping map[int]int) (Expr, error) {
 	switch x := e.(type) {
 	case *Col:
 		idx, ok := mapping[x.Idx]
 		if !ok {
-			panic(fmt.Sprintf("plan: Remap has no mapping for column %d (%s)", x.Idx, x.Name))
+			return nil, fmt.Errorf("plan: Remap has no mapping for column %d (%s)", x.Idx, x.Name)
 		}
-		return &Col{Idx: idx, Name: x.Name, T: x.T}
+		return &Col{Idx: idx, Name: x.Name, T: x.T}, nil
 	case *Const:
-		return x
+		return x, nil
 	case *Binary:
-		return &Binary{Op: x.Op, Kind: x.Kind, L: Remap(x.L, mapping), R: Remap(x.R, mapping), T: x.T}
+		l, err := Remap(x.L, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Remap(x.R, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: x.Op, Kind: x.Kind, L: l, R: r, T: x.T}, nil
 	case *Not:
-		return &Not{E: Remap(x.E, mapping)}
+		inner, err := Remap(x.E, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: inner}, nil
 	case *Neg:
-		return &Neg{E: Remap(x.E, mapping), T: x.T}
+		inner, err := Remap(x.E, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: inner, T: x.T}, nil
 	case *Call:
 		args := make([]Expr, len(x.Args))
 		for i, a := range x.Args {
-			args[i] = Remap(a, mapping)
+			ra, err := Remap(a, mapping)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ra
 		}
-		return &Call{Fn: x.Fn, Args: args, T: x.T}
+		return &Call{Fn: x.Fn, Args: args, T: x.T}, nil
 	case *ScalarSubquery:
 		// The inner plan references its own tables, never the outer row.
-		return x
+		return x, nil
 	}
-	panic(fmt.Sprintf("plan: Remap of unknown expression %T", e))
+	return nil, fmt.Errorf("plan: Remap of unknown expression %T", e)
 }

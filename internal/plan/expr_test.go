@@ -126,18 +126,18 @@ func TestColsUsedAndRemap(t *testing.T) {
 	if len(used) != 2 || used[0] != 1 || used[1] != 3 {
 		t.Fatalf("cols used %v", used)
 	}
-	remapped := Remap(e, map[int]int{1: 0, 3: 1})
+	remapped, err := Remap(e, map[int]int{1: 0, 3: 1})
+	if err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
 	used = ColsUsed(remapped)
 	if len(used) != 2 || used[0] != 0 || used[1] != 1 {
 		t.Fatalf("remapped cols %v", used)
 	}
-	// Remap panics on a missing mapping.
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Remap with missing mapping did not panic")
-		}
-	}()
-	Remap(e, map[int]int{1: 0})
+	// Remap reports a missing mapping as an error, not a panic.
+	if _, err := Remap(e, map[int]int{1: 0}); err == nil {
+		t.Fatal("Remap with missing mapping did not error")
+	}
 }
 
 func TestExprStrings(t *testing.T) {

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"relalg/internal/linalg"
@@ -53,8 +54,9 @@ func VectorRows(data [][]float64) []value.Row {
 
 // BlockRows groups consecutive points into blocks of blockRows rows stored
 // as (mi INTEGER, m MATRIX[][]) — the pre-blocked layout. A final partial
-// block keeps its true (smaller) height.
-func BlockRows(data [][]float64, blockRows int) []value.Row {
+// block keeps its true (smaller) height. Ragged (non-rectangular) input is
+// reported as an error.
+func BlockRows(data [][]float64, blockRows int) ([]value.Row, error) {
 	if blockRows <= 0 {
 		blockRows = 1
 	}
@@ -66,12 +68,11 @@ func BlockRows(data [][]float64, blockRows int) []value.Row {
 		}
 		m, err := linalg.MatrixFromRows(data[start:end])
 		if err != nil {
-			// DenseVectors always produces rectangular data.
-			panic(err)
+			return nil, fmt.Errorf("workload: block starting at row %d: %w", start, err)
 		}
 		rows = append(rows, value.Row{value.Int(int64(start / blockRows)), value.Matrix(m)})
 	}
-	return rows
+	return rows, nil
 }
 
 // RegressionTargets produces y_i = <x_i, beta> + noise, as

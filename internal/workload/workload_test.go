@@ -63,7 +63,10 @@ func TestVectorRows(t *testing.T) {
 
 func TestBlockRowsPartialTail(t *testing.T) {
 	data := DenseVectors(1, 25, 3)
-	rows := BlockRows(data, 10)
+	rows, err := BlockRows(data, 10)
+	if err != nil {
+		t.Fatalf("BlockRows: %v", err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("blocks %d", len(rows))
 	}
@@ -78,8 +81,12 @@ func TestBlockRowsPartialTail(t *testing.T) {
 		t.Fatal("block content wrong")
 	}
 	// Degenerate block size normalizes to 1.
-	if got := BlockRows(data[:2], 0); len(got) != 2 {
-		t.Fatalf("degenerate block size: %d blocks", len(got))
+	if got, err := BlockRows(data[:2], 0); err != nil || len(got) != 2 {
+		t.Fatalf("degenerate block size: %d blocks (err %v)", len(got), err)
+	}
+	// Ragged input is an error, not a panic.
+	if _, err := BlockRows([][]float64{{1, 2}, {3}}, 10); err == nil {
+		t.Fatal("ragged input did not error")
 	}
 }
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# verify.sh is the repo's full verification gate: build, vet, the
+# project-specific lalint analyzers, the test suite, and the race detector
+# over the concurrent packages (the simulated cluster, the executor, the
+# BLAS-like kernels, and the benchmark harness that drives them).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== lalint =="
+go run ./cmd/lalint ./...
+
+echo "== go test =="
+go test -short ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/
+
+echo "verify: all gates passed"
