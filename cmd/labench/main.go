@@ -8,6 +8,11 @@
 // The -scale paper mode uses the paper's dimensionalities (10/100/1000) with
 // row counts scaled to a single machine; see EXPERIMENTS.md for the scaling
 // argument.
+//
+// The kernel-layer suite is separate from the figures:
+//
+//	labench -kernels                          print the suite, write BENCH_kernels.json
+//	labench -kernels -smoke -out ""           seconds-long smoke run, no file
 package main
 
 import (
@@ -24,7 +29,39 @@ func main() {
 	gramN := flag.Int("gram-n", 0, "override row count for Gram/regression")
 	distN := flag.Int("dist-n", 0, "override row count for distance")
 	seed := flag.Int64("seed", 0, "override data seed")
+	kernels := flag.Bool("kernels", false, "run the kernel benchmark suite instead of the figures")
+	smoke := flag.Bool("smoke", false, "with -kernels: tiny sizes for a seconds-long smoke run")
+	out := flag.String("out", "BENCH_kernels.json", "with -kernels: JSON output path (empty = don't write)")
 	flag.Parse()
+
+	if *kernels {
+		kcfg := bench.DefaultKernelConfig()
+		if *smoke {
+			kcfg = bench.SmokeKernelConfig()
+		}
+		if *seed != 0 {
+			kcfg.Seed = *seed
+		}
+		rep, err := bench.RunKernels(kcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "labench: kernels: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		if *out != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "labench: kernels: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "labench: kernels: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
+	}
 
 	var cfg bench.Config
 	switch *scale {

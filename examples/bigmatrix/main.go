@@ -79,6 +79,15 @@ func main() {
 	fmt.Printf("distributed multiply produced %d result tiles\n", len(res.Rows))
 	fmt.Printf("cluster traffic: %s\n", res.Stats)
 
+	// Where did the time go? The executor tracks per-operator wall time; for
+	// this query the aggregate stage holds the matrix_multiply kernel calls,
+	// so it should dominate everything else.
+	fmt.Println("kernel timing breakdown:")
+	for _, label := range res.Timings.Labels() {
+		fmt.Printf("  %-18s %v\n", label, res.Timings.Get(label))
+	}
+	fmt.Printf("  %-18s %v\n", "total", res.Timings.Total())
+
 	// Verify every tile against a dense reference multiply.
 	want, err := A.MulMat(B)
 	if err != nil {

@@ -350,7 +350,7 @@ type BreakdownRow struct {
 func (b *Breakdown) Format() string {
 	var out strings.Builder
 	fmt.Fprintf(&out, "Figure 4: Gram matrix operator breakdown (n=%d, d=%d)\n", b.N, b.Dim)
-	ops := []string{"scan", "join", "aggregate", "aggregate-shuffle", "project", "filter"}
+	ops := []string{"scan", "pipeline", "join", "aggregate", "aggregate-shuffle", "project", "filter"}
 	for _, row := range b.Variants {
 		fmt.Fprintf(&out, "%-14s total %8.3fs\n", row.Platform, row.Total.Seconds())
 		for _, op := range ops {

@@ -159,13 +159,13 @@ func arithMatMat(op string, l, r *linalg.Matrix) (value.Value, error) {
 	)
 	switch op {
 	case "+":
-		out, err = l.Add(r)
+		out, err = linalg.ParallelAdd(l, r, 0)
 	case "-":
-		out, err = l.Sub(r)
+		out, err = linalg.ParallelSub(l, r, 0)
 	case "*":
-		out, err = l.Hadamard(r)
+		out, err = linalg.ParallelHadamard(l, r, 0)
 	case "/":
-		out, err = l.Div(r)
+		out, err = linalg.ParallelDiv(l, r, 0)
 	default:
 		return value.Null(), fmt.Errorf("builtins: unknown arithmetic operator %q", op)
 	}

@@ -117,7 +117,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			out, err := l.MulMat(r)
+			out, err := linalg.ParallelMulMat(l, r, 0)
 			if err != nil {
 				return value.Null(), err
 			}
@@ -136,7 +136,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			out, err := m.MulVec(v)
+			out, err := linalg.ParallelMulVec(m, v, 0)
 			if err != nil {
 				return value.Null(), err
 			}
@@ -155,7 +155,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			out, err := m.VecMul(v)
+			out, err := linalg.ParallelVecMul(m, v, 0)
 			if err != nil {
 				return value.Null(), err
 			}
@@ -206,7 +206,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			return value.Matrix(m.Transpose()), nil
+			return value.Matrix(linalg.ParallelTranspose(m, 0)), nil
 		},
 	})
 	mustRegister(&Builtin{
@@ -447,7 +447,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			return value.Double(m.Sum()), nil
+			return value.Double(linalg.ParallelSum(m, 0)), nil
 		},
 	})
 	mustRegister(&Builtin{

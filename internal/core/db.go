@@ -35,6 +35,10 @@ type Config struct {
 	// DisableAggFusion reverts SUM(outer_product)/SUM(matrix_multiply) to
 	// unfused per-row evaluation (2017-SimSQL behaviour); see exec.Context.
 	DisableAggFusion bool
+	// DisablePipelineFusion reverts scan→filter→project chains to
+	// stage-at-a-time execution with one materialized relation per operator;
+	// see exec.Context.
+	DisablePipelineFusion bool
 }
 
 // DefaultConfig simulates the paper's 10-node cluster with the full
@@ -60,6 +64,9 @@ type Database struct {
 
 // Open creates an empty database.
 func Open(cfg Config) *Database {
+	// Budget per-kernel parallelism against the partition fan-out so that
+	// builtins called inside cluster.Parallel don't oversubscribe the machine.
+	linalg.SetDefaultWorkers(cfg.Cluster.KernelWorkers())
 	return &Database{
 		cfg:    cfg,
 		cat:    catalog.New(),
@@ -482,7 +489,13 @@ func (db *Database) query(sel *sqlparse.Select) (*Result, error) {
 	db.cl.ResetBudget()
 	before := db.cl.Stats().Snapshot()
 	timings := exec.NewTimings()
-	ctx := &exec.Context{Cluster: db.cl, Tables: db, Timings: timings, DisableAggFusion: db.cfg.DisableAggFusion}
+	ctx := &exec.Context{
+		Cluster:               db.cl,
+		Tables:                db,
+		Timings:               timings,
+		DisableAggFusion:      db.cfg.DisableAggFusion,
+		DisablePipelineFusion: db.cfg.DisablePipelineFusion,
+	}
 	resolved, err := db.resolveSubqueries(ctx, optimized)
 	if err != nil {
 		return nil, err

@@ -137,6 +137,11 @@ type Context struct {
 	// result object per input row — the behaviour of the paper's 2017
 	// SimSQL, which the benchmark harness emulates (ablation A4).
 	DisableAggFusion bool
+	// DisablePipelineFusion turns off the fused scan→filter→project
+	// per-partition pipeline, reverting to one materialized relation per
+	// operator (stage-at-a-time, the seed executor's behaviour). Used by the
+	// benchmark harness and the allocation-regression tests as the baseline.
+	DisablePipelineFusion bool
 }
 
 // Run executes a plan and returns the materialized result.
@@ -145,8 +150,14 @@ func Run(ctx *Context, n plan.Node) (*Relation, error) {
 	case *plan.Scan:
 		return runScan(ctx, x)
 	case *plan.Project:
+		if sp := matchPipeline(ctx, x); sp != nil {
+			return runPipeline(ctx, sp)
+		}
 		return runProject(ctx, x)
 	case *plan.Filter:
+		if sp := matchPipeline(ctx, x); sp != nil {
+			return runPipeline(ctx, sp)
+		}
 		return runFilter(ctx, x)
 	case *plan.Join:
 		return runJoin(ctx, x)
@@ -170,24 +181,35 @@ func Run(ctx *Context, n plan.Node) (*Relation, error) {
 
 func runScan(ctx *Context, s *plan.Scan) (*Relation, error) {
 	defer ctx.Timings.Track("scan")()
-	parts, err := ctx.Tables.TableParts(s.Table.Name)
+	parts, keys, err := scanParts(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	rel := &Relation{Schema: s.Out, Parts: parts}
+	return &Relation{Schema: s.Out, Parts: parts, HashKeys: keys}, nil
+}
+
+// scanParts resolves the stored partitions behind a scan, re-spreading when
+// the stored layout doesn't match the cluster shape, and returns the hash
+// keys the scan may advertise. Shared by runScan and the fused pipeline.
+func scanParts(ctx *Context, s *plan.Scan) ([][]value.Row, []string, error) {
+	parts, err := ctx.Tables.TableParts(s.Table.Name)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(parts) != ctx.Cluster.Partitions() {
 		// Re-spread (e.g. when a table was loaded under a different layout).
-		rel.Parts = ctx.Cluster.ScatterRoundRobin(flatten(parts))
-	} else if s.Table.PartitionCol != "" {
+		return ctx.Cluster.ScatterRoundRobin(flatten(parts)), nil, nil
+	}
+	if s.Table.PartitionCol != "" {
 		// A declared hash-partitioned table scans out pre-placed: advertise
 		// the partitioning so joins/groupings on the column skip their
 		// shuffle (the paper's "R was already partitioned on the join key").
 		if idx := s.Table.Schema.IndexOf(s.Table.PartitionCol); idx >= 0 && idx < len(s.Out) {
 			keyCol := &plan.Col{Idx: idx, Name: s.Out[idx].Name, T: s.Out[idx].T}
-			rel.HashKeys = []string{keyCol.String()}
+			return parts, []string{keyCol.String()}, nil
 		}
 	}
-	return rel, nil
+	return parts, nil, nil
 }
 
 func flatten(parts [][]value.Row) []value.Row {
@@ -272,7 +294,14 @@ func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{Schema: f.Schema(), Parts: out, HashKeys: in.HashKeys, Single: in.Single}, nil
+	rel := &Relation{Schema: f.Schema(), Parts: out, HashKeys: in.HashKeys, Single: in.Single}
+	// Filters materialize their kept rows just like projections materialize
+	// theirs; charge them so filtering is not free in the simulated cost
+	// model.
+	if err := ctx.Cluster.ChargeTuples(int64(rel.NumRows())); err != nil {
+		return nil, err
+	}
+	return rel, nil
 }
 
 func runSort(ctx *Context, s *plan.Sort) (*Relation, error) {
@@ -303,6 +332,10 @@ func runSort(ctx *Context, s *plan.Sort) (*Relation, error) {
 	if sortErr != nil {
 		return nil, sortErr
 	}
+	// The gather materializes every row on one partition.
+	if err := ctx.Cluster.ChargeTuples(int64(len(rows))); err != nil {
+		return nil, err
+	}
 	parts := make([][]value.Row, ctx.Cluster.Partitions())
 	parts[0] = rows
 	return &Relation{Schema: s.Schema(), Parts: parts, Single: true}, nil
@@ -330,6 +363,11 @@ func runLimit(ctx *Context, l *plan.Limit) (*Relation, error) {
 	rows := ctx.Cluster.Gather(in.Parts)
 	if len(rows) > l.N {
 		rows = rows[:l.N]
+	}
+	// Charge the rows that survive the truncation — what the operator
+	// actually materializes on its single output partition.
+	if err := ctx.Cluster.ChargeTuples(int64(len(rows))); err != nil {
+		return nil, err
 	}
 	parts := make([][]value.Row, ctx.Cluster.Partitions())
 	parts[0] = rows

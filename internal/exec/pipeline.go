@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"relalg/internal/plan"
+	"relalg/internal/value"
+)
+
+// This file implements the fused scan→filter→project pipeline: when a plan
+// subtree has the shape Project?(Filter*(Scan)), the executor runs it as one
+// per-partition pass instead of materializing a relation per operator. Rows
+// stream from the stored partition through the predicates into the
+// projection, so filtered-out rows cost nothing downstream and projected rows
+// are carved out of a chunked arena instead of one allocation each. This
+// extends the join-projection fusion in runProject to the leaf chains the
+// optimizer pushes filters into.
+
+// matchPipeline returns the fused chain rooted at n, or nil when fusion is
+// disabled or n doesn't decompose.
+func matchPipeline(ctx *Context, n plan.Node) *plan.Pipeline {
+	if ctx.DisablePipelineFusion {
+		return nil
+	}
+	return plan.MatchPipeline(n)
+}
+
+// arenaChunk is how many value slots a pipeline arena allocates at once:
+// large enough to amortize the per-row allocation down to noise, small
+// enough that a short partition doesn't hold a meaningfully oversized block.
+const arenaChunk = 4096
+
+// rowArena hands out value.Row storage carved from chunked allocations. One
+// arena serves one partition goroutine, so no locking. Rows remain valid
+// forever (the chunks are never reused) — the arena only batches what the
+// unfused path would have allocated row by row.
+type rowArena struct {
+	buf []value.Value
+}
+
+// alloc returns a zeroed row of n values with capacity clipped to n, so an
+// append by a downstream consumer can never bleed into a neighbouring row.
+func (a *rowArena) alloc(n int) value.Row {
+	if n == 0 {
+		return value.Row{}
+	}
+	if len(a.buf) < n {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]value.Value, size)
+	}
+	r := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return value.Row(r)
+}
+
+// runPipeline executes a fused Project?(Filter*(Scan)) chain in one pass per
+// partition. Placement metadata follows the same rules as the unfused
+// operators: a filter-only chain keeps the scan's advertised hash keys (rows
+// only disappear, placement is untouched), a projecting chain drops them
+// (rewriting keys through the projection is the same conservative gap as
+// runProject). Only the rows that leave the pipeline are charged to the
+// cluster budget — the fused chain genuinely never materializes the
+// intermediates the stage-at-a-time executor would have paid for.
+func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
+	defer ctx.Timings.Track("pipeline")()
+	parts, keys, err := scanParts(ctx, sp.Scan)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]value.Row, len(parts))
+	err = ctx.Cluster.Parallel(func(part int) error {
+		var arena rowArena
+		var rows []value.Row
+		for _, r := range parts[part] {
+			keep := true
+			for _, pred := range sp.Filters {
+				v, err := pred.Eval(r)
+				if err != nil {
+					return err
+				}
+				if v.Kind != value.KindBool || !v.B {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+			if sp.Exprs == nil {
+				rows = append(rows, r)
+				continue
+			}
+			nr := arena.alloc(len(sp.Exprs))
+			for i, e := range sp.Exprs {
+				v, err := e.Eval(r)
+				if err != nil {
+					return err
+				}
+				nr[i] = v
+			}
+			rows = append(rows, nr)
+		}
+		out[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rel := &Relation{Schema: sp.Out, Parts: out}
+	if sp.Exprs == nil {
+		rel.HashKeys = keys
+	}
+	if err := ctx.Cluster.ChargeTuples(int64(rel.NumRows())); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}

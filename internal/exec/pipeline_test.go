@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"testing"
+
+	"relalg/internal/catalog"
+	"relalg/internal/plan"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+// pipelinePlan builds Project(Filter(Scan(t))) keeping rows with a < keep and
+// projecting a*10.
+func pipelinePlan(s *plan.Scan, keep int64) *plan.Project {
+	pred := &plan.Binary{Op: "<", Kind: plan.BinCompare, L: col(0, types.TInt), R: &plan.Const{V: value.Int(keep), T: types.TInt}, T: types.TBool}
+	return &plan.Project{
+		Input: &plan.Filter{Input: s, Pred: pred},
+		Exprs: []plan.Expr{&plan.Binary{Op: "*", Kind: plan.BinArith, L: col(0, types.TInt), R: &plan.Const{V: value.Int(10), T: types.TInt}, T: types.TInt}},
+		Out:   plan.Schema{{Name: "x", T: types.TInt}},
+	}
+}
+
+func TestPipelineMatchesUnfused(t *testing.T) {
+	tables := memSource{}
+	fused := testCtx(tables)
+	tables["t"] = intTable(fused, 40)
+	unfused := testCtx(tables)
+	unfused.DisablePipelineFusion = true
+
+	s := scanNode("t", 40,
+		catalog.Column{Name: "a", Type: types.TInt},
+		catalog.Column{Name: "b", Type: types.TInt})
+	p := pipelinePlan(s, 17)
+
+	relF, err := Run(fused, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relU, err := Run(unfused, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Timings.Get("pipeline") == 0 {
+		t.Fatal("fused run never entered the pipeline operator")
+	}
+	if unfused.Timings.Get("pipeline") != 0 {
+		t.Fatal("unfused run entered the pipeline operator")
+	}
+	if len(relF.Parts) != len(relU.Parts) {
+		t.Fatalf("parts %d vs %d", len(relF.Parts), len(relU.Parts))
+	}
+	// Fusion must preserve both the rows and their partition placement.
+	for part := range relF.Parts {
+		if len(relF.Parts[part]) != len(relU.Parts[part]) {
+			t.Fatalf("part %d: %d vs %d rows", part, len(relF.Parts[part]), len(relU.Parts[part]))
+		}
+		for i, r := range relF.Parts[part] {
+			u := relU.Parts[part][i]
+			if len(r) != len(u) || r[0].I != u[0].I {
+				t.Fatalf("part %d row %d: %v vs %v", part, i, r, u)
+			}
+		}
+	}
+}
+
+func TestPipelineFilterOnlyKeepsRows(t *testing.T) {
+	tables := memSource{}
+	ctx := testCtx(tables)
+	tables["t"] = intTable(ctx, 30)
+	s := scanNode("t", 30,
+		catalog.Column{Name: "a", Type: types.TInt},
+		catalog.Column{Name: "b", Type: types.TInt})
+	pred := &plan.Binary{Op: "<", Kind: plan.BinCompare, L: col(0, types.TInt), R: &plan.Const{V: value.Int(7), T: types.TInt}, T: types.TBool}
+	rel, err := Run(ctx, &plan.Filter{Input: s, Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 7 {
+		t.Fatalf("rows %d", rel.NumRows())
+	}
+	if ctx.Timings.Get("pipeline") == 0 {
+		t.Fatal("filter-over-scan should run as a fused pipeline")
+	}
+}
+
+// TestOperatorCharges pins the cost-model fix: filter, sort and limit now
+// charge the tuples they materialize (filters used to be free while projects
+// were charged), and the fused pipeline charges only its final output.
+func TestOperatorCharges(t *testing.T) {
+	scan := func() (*Context, *plan.Scan) {
+		tables := memSource{}
+		ctx := testCtx(tables)
+		tables["t"] = intTable(ctx, 20)
+		return ctx, scanNode("t", 20,
+			catalog.Column{Name: "a", Type: types.TInt},
+			catalog.Column{Name: "b", Type: types.TInt})
+	}
+	pred := &plan.Binary{Op: "<", Kind: plan.BinCompare, L: col(0, types.TInt), R: &plan.Const{V: value.Int(8), T: types.TInt}, T: types.TBool}
+
+	t.Run("filter", func(t *testing.T) {
+		ctx, s := scan()
+		ctx.DisablePipelineFusion = true
+		if _, err := Run(ctx, &plan.Filter{Input: s, Pred: pred}); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx.Cluster.Stats().Snapshot().TuplesProduced; got != 8 {
+			t.Fatalf("filter charged %d tuples, want 8 (its kept rows)", got)
+		}
+	})
+	t.Run("sort", func(t *testing.T) {
+		ctx, s := scan()
+		if _, err := Run(ctx, &plan.Sort{Input: s, Keys: []plan.OrderKey{{Col: 0}}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx.Cluster.Stats().Snapshot().TuplesProduced; got != 20 {
+			t.Fatalf("sort charged %d tuples, want 20 (its gathered rows)", got)
+		}
+	})
+	t.Run("limit", func(t *testing.T) {
+		ctx, s := scan()
+		if _, err := Run(ctx, &plan.Limit{Input: s, N: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx.Cluster.Stats().Snapshot().TuplesProduced; got != 3 {
+			t.Fatalf("limit charged %d tuples, want 3 (its surviving rows)", got)
+		}
+	})
+	t.Run("pipeline-charges-output-only", func(t *testing.T) {
+		ctx, s := scan()
+		if _, err := Run(ctx, pipelinePlan(s, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx.Cluster.Stats().Snapshot().TuplesProduced; got != 8 {
+			t.Fatalf("fused pipeline charged %d tuples, want 8 (final output only)", got)
+		}
+		// Unfused, the same chain pays for the filter and project stages
+		// separately: 8 filtered + 8 projected = 16.
+		ctx2, s2 := scan()
+		ctx2.DisablePipelineFusion = true
+		if _, err := Run(ctx2, pipelinePlan(s2, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx2.Cluster.Stats().Snapshot().TuplesProduced; got != 16 {
+			t.Fatalf("unfused chain charged %d tuples, want 16", got)
+		}
+	})
+}
+
+func TestPipelineHashKeyRules(t *testing.T) {
+	tables := memSource{}
+	ctx := testCtx(tables)
+	tables["t"] = intTable(ctx, 20)
+	meta := &catalog.TableMeta{
+		Name: "t",
+		Schema: catalog.Schema{Cols: []catalog.Column{
+			{Name: "a", Type: types.TInt},
+			{Name: "b", Type: types.TInt},
+		}},
+		RowCount:     20,
+		PartitionCol: "a",
+	}
+	s := &plan.Scan{Table: meta, Out: plan.Schema{{Name: "a", T: types.TInt}, {Name: "b", T: types.TInt}}}
+	pred := &plan.Binary{Op: "<", Kind: plan.BinCompare, L: col(0, types.TInt), R: &plan.Const{V: value.Int(10), T: types.TInt}, T: types.TBool}
+
+	// Filter-only: rows only disappear, so the scan's advertised placement
+	// survives the fused pipeline.
+	rel, err := Run(ctx, &plan.Filter{Input: s, Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.HashKeys == nil {
+		t.Fatal("filter-only pipeline dropped the scan's hash keys")
+	}
+	// Projecting: keys would need rewriting through the projection, so the
+	// pipeline conservatively drops them (same rule as runProject).
+	rel2, err := Run(ctx, pipelinePlan(s, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.HashKeys != nil {
+		t.Fatal("projecting pipeline must not advertise hash keys")
+	}
+}
+
+// TestPipelineAllocs is the allocation regression gate from the issue: the
+// fused pipeline must allocate at most half of what the stage-at-a-time
+// executor spends on the same scan→filter→project chain.
+func TestPipelineAllocs(t *testing.T) {
+	tables := memSource{}
+	ctx := testCtx(tables)
+	const n = 4000
+	tables["t"] = intTable(ctx, n)
+	s := scanNode("t", n,
+		catalog.Column{Name: "a", Type: types.TInt},
+		catalog.Column{Name: "b", Type: types.TInt})
+	// Keep every row so the projection allocation dominates both paths.
+	p := pipelinePlan(s, n)
+
+	unfused := testCtx(tables)
+	unfused.DisablePipelineFusion = true
+	// Raise the budget: AllocsPerRun repeats the query and charges accumulate
+	// across runs.
+	run := func(ctx *Context) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Run(ctx, p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	fusedAllocs := run(ctx)
+	unfusedAllocs := run(unfused)
+	t.Logf("allocs per query: fused %.0f, unfused %.0f", fusedAllocs, unfusedAllocs)
+	if fusedAllocs > unfusedAllocs/2 {
+		t.Fatalf("fused pipeline allocates %.0f per run, want <= half of unfused %.0f", fusedAllocs, unfusedAllocs)
+	}
+}

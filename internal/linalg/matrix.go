@@ -230,10 +230,18 @@ func (m *Matrix) ScaleRSub(s float64) *Matrix {
 // Transpose returns mᵀ.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
+	m.transposeRowsInto(out, 0, m.Rows)
+	return out
+}
+
+// transposeRowsInto writes the transpose of rows [r0, r1) of m into the
+// corresponding columns of out (which must be m.Cols × m.Rows). Row ranges
+// map to disjoint output columns, so disjoint ranges can run concurrently.
+func (m *Matrix) transposeRowsInto(out *Matrix, r0, r1 int) {
 	// Blocked transpose for cache friendliness on large matrices.
 	const bs = 64
-	for i0 := 0; i0 < m.Rows; i0 += bs {
-		imax := min(i0+bs, m.Rows)
+	for i0 := r0; i0 < r1; i0 += bs {
+		imax := min(i0+bs, r1)
 		for j0 := 0; j0 < m.Cols; j0 += bs {
 			jmax := min(j0+bs, m.Cols)
 			for i := i0; i < imax; i++ {
@@ -243,7 +251,6 @@ func (m *Matrix) Transpose() *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MulMat returns the matrix product m · n.
@@ -269,9 +276,143 @@ func (m *Matrix) MulMatAddInto(dst, n *Matrix) error {
 	return nil
 }
 
-// mulMatInto accumulates m·n into out using an ikj loop order, which streams
-// both n and out row-wise (cache friendly) and vectorizes well.
+// mulPanelCols is the column-panel width of the tiled multiply kernel: the
+// working set of one microtile pass (two output row panels plus four
+// streamed rows of n) is 6·512·8 bytes ≈ 24 KB, inside a typical 32 KB L1d,
+// so wide right-hand sides never thrash the cache.
+const mulPanelCols = 512
+
+// mulPanelK is the k-block depth: a mulPanelK × mulPanelCols panel of n
+// (512 KB) stays L2-resident while every row pair of m streams over it, so
+// n is read from memory once per panel instead of once per row pair.
+const mulPanelK = 128
+
+// mulMatInto accumulates m·n into out via the tiled kernel.
 func (m *Matrix) mulMatInto(out, n *Matrix) {
+	m.mulMatRowsInto(out, n, 0, m.Rows)
+}
+
+// mulMatRowsInto accumulates rows [i0, i1) of m·n into the same rows of out.
+// The kernel is cache-blocked over mulPanelCols-wide column panels and
+// mulPanelK-deep k blocks of n, and register-blocked on a 2×4 microtile:
+// two output rows share the four streamed rows of n (halving loads per
+// multiply-add), and four k steps amortize the load/store of each output
+// element. Per output element the k terms still accumulate left-to-right in
+// ascending k order — k blocks are visited ascending and each appends its
+// ascending-k partial products onto the stored element — so the result is
+// bit-for-bit identical to the straightforward ikj reference kernel: tiling
+// and row-parallel dispatch never change a single ulp.
+func (m *Matrix) mulMatRowsInto(out, n *Matrix, i0, i1 int) {
+	K := m.Cols
+	for p0 := 0; p0 < n.Cols; p0 += mulPanelCols {
+		p1 := min(p0+mulPanelCols, n.Cols)
+		for k0 := 0; k0 < K; k0 += mulPanelK {
+			k1 := min(k0+mulPanelK, K)
+			m.mulMatBlock(out, n, i0, i1, p0, p1, k0, k1)
+		}
+	}
+}
+
+// mulMatBlock accumulates the k-range [k0, k1) contribution of rows
+// [i0, i1) of m·n into columns [p0, p1) of out.
+func (m *Matrix) mulMatBlock(out, n *Matrix, i0, i1, p0, p1, k0, k1 int) {
+	K := m.Cols
+	var i int
+	for i = i0; i+2 <= i1; i += 2 {
+		mr0 := m.Data[i*K : (i+1)*K]
+		mr1 := m.Data[(i+1)*K : (i+2)*K]
+		or0 := out.Data[i*out.Cols+p0 : i*out.Cols+p1]
+		or1 := out.Data[(i+1)*out.Cols+p0 : (i+1)*out.Cols+p1]
+		_ = or1[len(or0)-1]
+		var k int
+		for k = k0; k+4 <= k1; k += 4 {
+			a0, a1, a2, a3 := mr0[k], mr0[k+1], mr0[k+2], mr0[k+3]
+			b0, b1, b2, b3 := mr1[k], mr1[k+1], mr1[k+2], mr1[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 &&
+				b0 == 0 && b1 == 0 && b2 == 0 && b3 == 0 {
+				continue
+			}
+			n0 := n.Data[k*n.Cols+p0 : k*n.Cols+p1]
+			n1 := n.Data[(k+1)*n.Cols+p0 : (k+1)*n.Cols+p1]
+			n2 := n.Data[(k+2)*n.Cols+p0 : (k+2)*n.Cols+p1]
+			n3 := n.Data[(k+3)*n.Cols+p0 : (k+3)*n.Cols+p1]
+			// Anchor the shared panel length so the compiler drops the
+			// bounds checks inside the hot loop.
+			_ = n0[len(or0)-1]
+			_ = n1[len(or0)-1]
+			_ = n2[len(or0)-1]
+			_ = n3[len(or0)-1]
+			for j := range or0 {
+				v0, v1, v2, v3 := n0[j], n1[j], n2[j], n3[j]
+				or0[j] = or0[j] + a0*v0 + a1*v1 + a2*v2 + a3*v3
+				or1[j] = or1[j] + b0*v0 + b1*v1 + b2*v2 + b3*v3
+			}
+		}
+		for ; k < k1; k++ {
+			a, b := mr0[k], mr1[k]
+			if a == 0 && b == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols+p0 : k*n.Cols+p1]
+			_ = nrow[len(or0)-1]
+			for j := range or0 {
+				v := nrow[j]
+				or0[j] += a * v
+				or1[j] += b * v
+			}
+		}
+	}
+	for ; i < i1; i++ {
+		mrow := m.Data[i*K : (i+1)*K]
+		orow := out.Data[i*out.Cols+p0 : i*out.Cols+p1]
+		var k int
+		for k = k0; k+4 <= k1; k += 4 {
+			a0, a1, a2, a3 := mrow[k], mrow[k+1], mrow[k+2], mrow[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			n0 := n.Data[k*n.Cols+p0 : k*n.Cols+p1]
+			n1 := n.Data[(k+1)*n.Cols+p0 : (k+1)*n.Cols+p1]
+			n2 := n.Data[(k+2)*n.Cols+p0 : (k+2)*n.Cols+p1]
+			n3 := n.Data[(k+3)*n.Cols+p0 : (k+3)*n.Cols+p1]
+			_ = n0[len(orow)-1]
+			_ = n1[len(orow)-1]
+			_ = n2[len(orow)-1]
+			_ = n3[len(orow)-1]
+			for j := range orow {
+				orow[j] = orow[j] + a0*n0[j] + a1*n1[j] + a2*n2[j] + a3*n3[j]
+			}
+		}
+		for ; k < k1; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols+p0 : k*n.Cols+p1]
+			_ = nrow[len(orow)-1]
+			for j := range orow {
+				orow[j] += a * nrow[j]
+			}
+		}
+	}
+}
+
+// RefMulMat multiplies with the seed scalar kernel: the plain ikj loop that
+// predates tiling, kept verbatim as (a) the bit-for-bit reference that the
+// tiled and parallel kernels are property-tested against and (b) the
+// baseline the kernel benchmark reports speedups over.
+func RefMulMat(m, n *Matrix) (*Matrix, error) {
+	if m.Cols != n.Rows {
+		return nil, fmt.Errorf("%w: matrix_multiply %dx%d by %dx%d", ErrShape, m.Rows, m.Cols, n.Rows, n.Cols)
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	m.refMulMatInto(out, n)
+	return out, nil
+}
+
+// refMulMatInto is the seed ikj kernel: streams n and out row-wise, skips
+// zero left-hand entries.
+func (m *Matrix) refMulMatInto(out, n *Matrix) {
 	for i := 0; i < m.Rows; i++ {
 		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]

@@ -1,0 +1,89 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernel worker budget. Every Parallel* entry point in this package
+// resolves a caller-supplied worker count against this package-wide budget:
+// workers <= 0 means "use the budget". The engine sets the budget from the
+// cluster shape (cluster.Config.KernelWorkers) so that per-tuple kernel
+// parallelism composes with partition parallelism instead of oversubscribing
+// the machine — with P partition goroutines already running, each kernel may
+// only fan out GOMAXPROCS/P ways. Library users who never set a budget get
+// GOMAXPROCS, the right default for standalone use.
+var kernelWorkers atomic.Int64
+
+// SetDefaultWorkers sets the package-wide kernel worker budget. n <= 0
+// restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the current kernel worker budget.
+func DefaultWorkers() int {
+	if n := kernelWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelMinWork is the number of scalar operations (multiply-adds for
+// products, element visits for maps and reductions) below which every kernel
+// runs serially: goroutine fan-out costs on the order of microseconds, which
+// only amortizes once a kernel has at least ~10^5 operations to split. This
+// single threshold replaces the per-kernel ad-hoc cutoffs.
+const parallelMinWork = 1 << 18
+
+// reduceChunk is the fixed partial-sum granularity for parallel reductions.
+// Partials are always formed per chunk and combined in ascending chunk
+// order, so a reduction returns the identical float64 for every worker
+// count (including 1) — worker count is a performance knob, never a source
+// of numeric nondeterminism.
+const reduceChunk = 1 << 15
+
+// planWorkers resolves a requested worker count: workers <= 0 draws from the
+// package budget, the count is clamped to GOMAXPROCS (a CPU-bound kernel
+// never gains from more goroutines than schedulable threads — it only pays
+// scheduling and cache-handoff overhead) and to the number of splittable
+// units, and kernels under the serial threshold get 1.
+func planWorkers(workers, units, work int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers > units {
+		workers = units
+	}
+	if workers <= 1 || work < parallelMinWork {
+		return 1
+	}
+	return workers
+}
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker and runs
+// fn on each chunk concurrently. workers <= 1 runs fn(0, n) inline.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

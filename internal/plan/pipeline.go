@@ -1,0 +1,56 @@
+package plan
+
+// Pipeline describes a Project?(Filter*(Scan)) chain that the executor can
+// run as one fused per-partition pass: rows stream from the stored partition
+// through the predicates into the projection without materializing any
+// intermediate relation. It is a decomposition of existing nodes, not a plan
+// node itself — the optimizer stays unaware of it and EXPLAIN still shows the
+// logical chain.
+type Pipeline struct {
+	Scan *Scan
+	// Filters are the chain's predicates, innermost (closest to the scan)
+	// first — the order they must be evaluated in.
+	Filters []Expr
+	// Exprs is the projection; nil when the chain ends in a Filter, in which
+	// case rows pass through unchanged.
+	Exprs []Expr
+	// Out is the schema of the whole chain.
+	Out Schema
+}
+
+// MatchPipeline decomposes n into a fusable scan→filter→project chain. It
+// returns nil when n is not of the shape Project?(Filter*(Scan)) or when the
+// chain is a bare Scan (nothing to fuse). Projections directly above joins
+// are not matched here — runProject already fuses those into the join.
+func MatchPipeline(n Node) *Pipeline {
+	p := &Pipeline{Out: n.Schema()}
+	cur := n
+	if pr, ok := cur.(*Project); ok {
+		p.Exprs = pr.Exprs
+		cur = pr.Input
+	}
+	var filters []Expr
+	for {
+		f, ok := cur.(*Filter)
+		if !ok {
+			break
+		}
+		filters = append(filters, f.Pred)
+		cur = f.Input
+	}
+	// Collected outermost-first while walking down; evaluation order is
+	// innermost-first.
+	for i, j := 0, len(filters)-1; i < j; i, j = i+1, j-1 {
+		filters[i], filters[j] = filters[j], filters[i]
+	}
+	p.Filters = filters
+	sc, ok := cur.(*Scan)
+	if !ok {
+		return nil
+	}
+	if p.Exprs == nil && len(filters) == 0 {
+		return nil
+	}
+	p.Scan = sc
+	return p
+}

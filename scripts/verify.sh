@@ -23,4 +23,7 @@ go test -short ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/
 
+echo "== kernel benchmark smoke =="
+go run ./cmd/labench -kernels -smoke -out ""
+
 echo "verify: all gates passed"
