@@ -13,6 +13,12 @@
 //
 //	labench -kernels                          print the suite, write BENCH_kernels.json
 //	labench -kernels -smoke -out ""           seconds-long smoke run, no file
+//
+// The out-of-core sweep runs one join+aggregate query at descending memory
+// budgets and verifies every budgeted run against the unlimited baseline:
+//
+//	labench -spill                            full sweep (unlimited → 16KiB)
+//	labench -spill -smoke                     seconds-long smoke sweep
 package main
 
 import (
@@ -30,9 +36,27 @@ func main() {
 	distN := flag.Int("dist-n", 0, "override row count for distance")
 	seed := flag.Int64("seed", 0, "override data seed")
 	kernels := flag.Bool("kernels", false, "run the kernel benchmark suite instead of the figures")
-	smoke := flag.Bool("smoke", false, "with -kernels: tiny sizes for a seconds-long smoke run")
+	spillSweep := flag.Bool("spill", false, "run the out-of-core spill sweep instead of the figures")
+	smoke := flag.Bool("smoke", false, "with -kernels or -spill: tiny sizes for a seconds-long smoke run")
 	out := flag.String("out", "BENCH_kernels.json", "with -kernels: JSON output path (empty = don't write)")
 	flag.Parse()
+
+	if *spillSweep {
+		scfg := bench.DefaultSpillConfig()
+		if *smoke {
+			scfg = bench.SmokeSpillConfig()
+		}
+		if *seed != 0 {
+			scfg.Seed = *seed
+		}
+		rep, err := bench.RunSpillSweep(scfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "labench: spill: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		return
+	}
 
 	if *kernels {
 		kcfg := bench.DefaultKernelConfig()

@@ -9,6 +9,11 @@ import (
 // floor in non-test code. Assigning to _ is an explicit, visible discard and
 // is allowed; the fmt print family is excluded (printing failures are not
 // actionable, and builder writes cannot fail).
+//
+// This gate matters most in internal/spill and the exec operators that use
+// it: a dropped Close/Remove/Finish error there silently leaks temp files or
+// truncates a spilled run. Those paths discard errors only via `_ =` on
+// cleanup-after-failure, where the original error is the actionable one.
 var ErrcheckAnalyzer = &Analyzer{
 	Name: "errcheck",
 	Doc:  "flags dropped error returns in non-test code",

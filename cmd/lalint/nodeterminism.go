@@ -16,11 +16,14 @@ var NodeterminismAnalyzer = &Analyzer{
 }
 
 // nondetScope lists the package suffixes that must stay seed-deterministic.
+// internal/spill is included because run files are replayed into query
+// results: spill-file contents and ordering must be identical across runs.
 var nondetScope = []string{
 	"internal/cluster",
 	"internal/exec",
 	"internal/bench",
 	"internal/workload",
+	"internal/spill",
 }
 
 func runNodeterminism(p *Pkg, r *Reporter) {

@@ -9,7 +9,10 @@ import (
 // harness code must return errors; the only sanctioned panics are dimension
 // invariant checks in internal/value and internal/linalg, and explicit
 // Must*/must* helpers whose contract is to panic (the Go convention for
-// opting in at the call site).
+// opting in at the call site). internal/spill is deliberately NOT on the
+// allowlist: every filesystem failure there (create, write, close, remove)
+// must surface as a wrapped error so a full disk degrades into a failed
+// query, not a crashed process.
 var PanicpolicyAnalyzer = &Analyzer{
 	Name: "panicpolicy",
 	Doc:  "flags panic in library packages outside the value/linalg invariant allowlist and Must* helpers",

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"relalg/internal/core"
+	"relalg/internal/value"
+)
+
+// The spill sweep measures the out-of-core subsystem: one join+aggregate
+// query run at a descending series of memory budgets, from unlimited down to
+// a small fraction of the working set. Every budgeted run must produce the
+// unlimited run's exact rows — the sweep errors out on any mismatch — so the
+// table doubles as an end-to-end correctness gate for external sort, grace
+// hash join, and spilling aggregation under real query plans.
+
+// SpillConfig sizes the spill sweep.
+type SpillConfig struct {
+	Rows    int // left-table rows; right table has Rows/2
+	Dim     int // vector dimensionality
+	Groups  int // distinct aggregation groups
+	Nodes   int
+	PerNode int
+	Seed    int64
+	// Budgets are the MemoryBudgetBytes settings to sweep, in the order to
+	// run them; 0 means unlimited and must come first (it is the baseline).
+	Budgets []int64
+}
+
+// DefaultSpillConfig covers budgets from unlimited down to far below the
+// working set.
+func DefaultSpillConfig() SpillConfig {
+	return SpillConfig{
+		Rows:    4000,
+		Dim:     32,
+		Groups:  40,
+		Nodes:   4,
+		PerNode: 2,
+		Seed:    1,
+		Budgets: []int64{0, 1 << 20, 128 << 10, 32 << 10, 8 << 10},
+	}
+}
+
+// SmokeSpillConfig finishes in a couple of seconds.
+func SmokeSpillConfig() SpillConfig {
+	return SpillConfig{
+		Rows:    800,
+		Dim:     8,
+		Groups:  10,
+		Nodes:   2,
+		PerNode: 2,
+		Seed:    1,
+		Budgets: []int64{0, 64 << 10, 4 << 10},
+	}
+}
+
+// Validate rejects sweeps that cannot serve as a correctness gate.
+func (c SpillConfig) Validate() error {
+	if c.Rows <= 0 || c.Dim <= 0 || c.Groups <= 0 || c.Nodes <= 0 || c.PerNode <= 0 {
+		return errors.New("bench: spill config sizes must be positive")
+	}
+	if len(c.Budgets) < 2 || c.Budgets[0] != 0 {
+		return errors.New("bench: spill sweep needs budget 0 (the baseline) first plus at least one finite budget")
+	}
+	for _, b := range c.Budgets[1:] {
+		if b <= 0 {
+			return errors.New("bench: only the first budget may be 0")
+		}
+	}
+	return nil
+}
+
+// SpillRow is one line of the sweep table.
+type SpillRow struct {
+	Budget       int64
+	Elapsed      time.Duration
+	SpillEvents  int64
+	BytesSpilled int64
+}
+
+// SpillReport is the sweep result.
+type SpillReport struct {
+	Cfg  SpillConfig
+	Rows []SpillRow
+}
+
+// spillDB loads the sweep's working set into a fresh database at one budget.
+func spillDB(cfg SpillConfig, budget int64) (*core.Database, error) {
+	dbcfg := core.DefaultConfig()
+	dbcfg.Cluster.Nodes = cfg.Nodes
+	dbcfg.Cluster.PartitionsPerNode = cfg.PerNode
+	dbcfg.Cluster.MemoryBudgetBytes = budget
+	db := core.Open(dbcfg)
+	if err := db.Exec(fmt.Sprintf("CREATE TABLE l (id INTEGER, grp INTEGER, v VECTOR[%d])", cfg.Dim)); err != nil {
+		return nil, err
+	}
+	if err := db.Exec(fmt.Sprintf("CREATE TABLE r (id INTEGER, v VECTOR[%d])", cfg.Dim)); err != nil {
+		return nil, err
+	}
+	// Integer-valued entries keep the swept query's float sums exact, so
+	// result comparison across budgets is bit-for-bit, not approximate: the
+	// spilled plans group additions differently, which only matters if the
+	// additions round.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vec := func() value.Value {
+		entries := make([]float64, cfg.Dim)
+		for i := range entries {
+			entries[i] = float64(rng.Intn(9) - 4)
+		}
+		return core.VectorValue(entries...)
+	}
+	ids := cfg.Rows / 4
+	if ids == 0 {
+		ids = 1
+	}
+	lrows := make([]value.Row, cfg.Rows)
+	for i := range lrows {
+		lrows[i] = value.Row{value.Int(int64(i % ids)), value.Int(int64(i % cfg.Groups)), vec()}
+	}
+	rrows := make([]value.Row, cfg.Rows/2)
+	for i := range rrows {
+		rrows[i] = value.Row{value.Int(int64(i % ids)), vec()}
+	}
+	if err := db.LoadTable("l", lrows); err != nil {
+		return nil, err
+	}
+	if err := db.LoadTable("r", rrows); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// spillSweepQuery exercises all three out-of-core operators: the join builds
+// hash tables, the aggregation groups the join output, and ORDER BY sorts it.
+const spillSweepQuery = `SELECT l.grp, COUNT(*) AS n, SUM(inner_product(l.v, r.v)) AS s ` +
+	`FROM l, r WHERE l.id = r.id GROUP BY l.grp ORDER BY l.grp`
+
+// RunSpillSweep runs the sweep. It returns an error if any budgeted run's
+// rows differ from the unlimited baseline, or if the smallest budget did not
+// actually spill (a sweep that never leaves memory gates nothing).
+func RunSpillSweep(cfg SpillConfig) (*SpillReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &SpillReport{Cfg: cfg}
+	var baseline *core.Result
+	for _, budget := range cfg.Budgets {
+		db, err := spillDB(cfg, budget)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now() //lint:ignore nodeterminism the wall-clock reading is the measured benchmark output, not simulation state
+		res, err := db.Query(spillSweepQuery)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill sweep at budget %d: %w", budget, err)
+		}
+		elapsed := time.Since(start) //lint:ignore nodeterminism the wall-clock reading is the measured benchmark output, not simulation state
+		if budget == 0 {
+			baseline = res
+			if res.Stats.SpillEvents != 0 {
+				return nil, fmt.Errorf("bench: unlimited run spilled %d runs", res.Stats.SpillEvents)
+			}
+		} else if err := sameResults(baseline, res); err != nil {
+			return nil, fmt.Errorf("bench: budget %d: %w", budget, err)
+		}
+		rep.Rows = append(rep.Rows, SpillRow{
+			Budget:       budget,
+			Elapsed:      elapsed,
+			SpillEvents:  res.Stats.SpillEvents,
+			BytesSpilled: res.Stats.BytesSpilled,
+		})
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.SpillEvents == 0 {
+		return nil, fmt.Errorf("bench: smallest budget %d never spilled; shrink it or grow the working set", last.Budget)
+	}
+	return rep, nil
+}
+
+// sameResults compares two query results row-for-row.
+func sameResults(want, got *core.Result) error {
+	if want == nil {
+		return errors.New("no baseline result")
+	}
+	if len(want.Rows) != len(got.Rows) {
+		return fmt.Errorf("row count %d != baseline %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if len(want.Rows[i]) != len(got.Rows[i]) {
+			return fmt.Errorf("row %d width differs", i)
+		}
+		for j := range want.Rows[i] {
+			if !want.Rows[i][j].Equal(got.Rows[i][j]) {
+				return fmt.Errorf("row %d col %d: %v != baseline %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// Format renders the sweep as a table.
+func (r *SpillReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Out-of-core sweep: %d x %d-dim join rows, %d groups, %d nodes x %d partitions\n",
+		r.Cfg.Rows, r.Cfg.Dim, r.Cfg.Groups, r.Cfg.Nodes, r.Cfg.PerNode)
+	fmt.Fprintf(&b, "%-12s %12s %10s %14s\n", "budget", "time", "runs", "bytes spilled")
+	for _, row := range r.Rows {
+		budget := "unlimited"
+		if row.Budget > 0 {
+			budget = fmtBytes(row.Budget)
+		}
+		fmt.Fprintf(&b, "%-12s %12s %10d %14s\n",
+			budget, row.Elapsed.Round(time.Millisecond), row.SpillEvents, fmtBytes(row.BytesSpilled))
+	}
+	b.WriteString("all budgeted runs matched the unlimited baseline row-for-row\n")
+	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

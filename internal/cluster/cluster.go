@@ -47,6 +47,12 @@ type Config struct {
 	// Hadoop-era cluster was shuffle-bound; this knob recreates that regime
 	// on in-memory hardware.
 	NetworkBytesPerSec float64
+	// MemoryBudgetBytes caps the bytes of operator working state (hash-join
+	// tables, sort buffers, aggregation groups) one query may hold, measured
+	// through the row codec's encoded sizes. Operators that would exceed it
+	// spill runs to temp files and continue out-of-core instead of aborting.
+	// 0 = unlimited: no governor, no spilling — the seed behaviour.
+	MemoryBudgetBytes int64
 }
 
 // DefaultConfig mirrors the paper's 10-node, 8-core setup at simulation
@@ -85,6 +91,8 @@ type Stats struct {
 	TuplesProduced  atomic.Int64 // rows materialized by operators
 	ShuffleRounds   atomic.Int64 // number of exchange operations
 	BroadcastRounds atomic.Int64
+	SpillEvents     atomic.Int64 // spill runs written under memory pressure
+	BytesSpilled    atomic.Int64 // file bytes of those runs
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -95,6 +103,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TuplesProduced:  s.TuplesProduced.Load(),
 		ShuffleRounds:   s.ShuffleRounds.Load(),
 		BroadcastRounds: s.BroadcastRounds.Load(),
+		SpillEvents:     s.SpillEvents.Load(),
+		BytesSpilled:    s.BytesSpilled.Load(),
 	}
 }
 
@@ -105,11 +115,17 @@ type StatsSnapshot struct {
 	TuplesProduced  int64
 	ShuffleRounds   int64
 	BroadcastRounds int64
+	SpillEvents     int64
+	BytesSpilled    int64
 }
 
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("shuffled %d tuples (%d bytes) in %d rounds, %d broadcasts, produced %d tuples",
+	out := fmt.Sprintf("shuffled %d tuples (%d bytes) in %d rounds, %d broadcasts, produced %d tuples",
 		s.TuplesShuffled, s.BytesShuffled, s.ShuffleRounds, s.BroadcastRounds, s.TuplesProduced)
+	if s.SpillEvents > 0 {
+		out += fmt.Sprintf(", spilled %d runs (%d bytes)", s.SpillEvents, s.BytesSpilled)
+	}
+	return out
 }
 
 // Cluster is one simulated cluster instance.

@@ -23,6 +23,7 @@ import (
 	"relalg/internal/linalg"
 	"relalg/internal/opt"
 	"relalg/internal/plan"
+	"relalg/internal/spill"
 	"relalg/internal/sqlparse"
 	"relalg/internal/types"
 	"relalg/internal/value"
@@ -481,7 +482,7 @@ func (db *Database) Explain(sql string) (string, error) {
 	return db.explain(sel)
 }
 
-func (db *Database) query(sel *sqlparse.Select) (*Result, error) {
+func (db *Database) query(sel *sqlparse.Select) (res *Result, err error) {
 	optimized, err := db.Plan(sel)
 	if err != nil {
 		return nil, err
@@ -489,10 +490,27 @@ func (db *Database) query(sel *sqlparse.Select) (*Result, error) {
 	db.cl.ResetBudget()
 	before := db.cl.Stats().Snapshot()
 	timings := exec.NewTimings()
+	// One spill manager (and so one temp directory and one memory budget)
+	// covers the whole query, subqueries included; its Close at return sweeps
+	// every run file the operators created.
+	stats := db.cl.Stats()
+	mgr := spill.NewManager(db.cfg.Cluster.MemoryBudgetBytes, spill.Hooks{
+		RunSpilled: func(bytes int64) {
+			stats.SpillEvents.Add(1)
+			stats.BytesSpilled.Add(bytes)
+		},
+		TrackIO: func() func() { return timings.Track("spill") },
+	})
+	defer func() {
+		if cerr := mgr.Close(); cerr != nil && err == nil {
+			res, err = nil, cerr
+		}
+	}()
 	ctx := &exec.Context{
 		Cluster:               db.cl,
 		Tables:                db,
 		Timings:               timings,
+		Spill:                 mgr,
 		DisableAggFusion:      db.cfg.DisableAggFusion,
 		DisablePipelineFusion: db.cfg.DisablePipelineFusion,
 	}
@@ -515,6 +533,8 @@ func (db *Database) query(sel *sqlparse.Select) (*Result, error) {
 			TuplesProduced:  after.TuplesProduced - before.TuplesProduced,
 			ShuffleRounds:   after.ShuffleRounds - before.ShuffleRounds,
 			BroadcastRounds: after.BroadcastRounds - before.BroadcastRounds,
+			SpillEvents:     after.SpillEvents - before.SpillEvents,
+			BytesSpilled:    after.BytesSpilled - before.BytesSpilled,
 		},
 	}, nil
 }

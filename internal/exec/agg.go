@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"fmt"
 	"sort"
 
 	"relalg/internal/builtins"
 	"relalg/internal/plan"
+	"relalg/internal/spill"
 	"relalg/internal/value"
 )
 
@@ -26,31 +28,16 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 		return nil, err
 	}
 
-	// Phase 1: local pre-aggregation.
+	// Phase 1: local pre-aggregation (out-of-core when a memory budget is
+	// set: new groups beyond the reservation scatter to spill files and are
+	// aggregated recursively — see partAgg).
 	stopLocal := ctx.Timings.Track("aggregate")
 	locals := make([]map[uint64][]*aggGroup, len(in.Parts))
 	err = ctx.Cluster.Parallel(func(part int) error {
-		groups := map[uint64][]*aggGroup{}
-		for _, r := range in.Parts[part] {
-			kv, err := evalKeys(a.GroupBy, r)
-			if err != nil {
-				return err
-			}
-			h := hashVals(kv)
-			var g *aggGroup
-			for _, cand := range groups[h] {
-				if valsEqual(cand.keys, kv) {
-					g = cand
-					break
-				}
-			}
-			if g == nil {
-				g = &aggGroup{keys: kv, states: newStates(a.Aggs, !ctx.DisableAggFusion)}
-				groups[h] = append(groups[h], g)
-			}
-			if err := stepStates(g.states, a.Aggs, r); err != nil {
-				return err
-			}
+		pa := &partAgg{ctx: ctx, a: a, part: part}
+		groups, err := pa.aggregate(in.Parts[part])
+		if err != nil {
+			return err
 		}
 		locals[part] = groups
 		return nil
@@ -169,7 +156,7 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 		produced += int64(len(pr))
 	}
 	if err := ctx.Cluster.ChargeTuples(produced); err != nil {
-		return nil, err
+		return nil, opErr("aggregate", err)
 	}
 	stopFinal()
 
@@ -254,6 +241,210 @@ func stepStates(states []builtins.AggState, aggs []plan.AggCall, row value.Row) 
 		}
 		if err := states[i].Step(v); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// aggSpillFanout is how many spill files new-group rows scatter into once
+// the group table hits its reservation.
+const aggSpillFanout = 16
+
+// partAgg runs one partition's local pre-aggregation, hybrid-hash style:
+// under memory pressure the groups already in the table keep aggregating in
+// place (their rows never touch disk), while rows of groups that would need
+// NEW table entries are scattered raw into spill files by a salted re-hash of
+// the group hash, then aggregated recursively. Raw input rows are spilled —
+// not partial states — because aggregate states have no serialized form and
+// finalized values (avg) cannot be re-merged.
+type partAgg struct {
+	ctx  *Context
+	a    *plan.Agg
+	part int
+}
+
+// aggregate builds the partition's group map from rows.
+func (pa *partAgg) aggregate(rows []value.Row) (map[uint64][]*aggGroup, error) {
+	if !pa.ctx.spillEnabled() {
+		return pa.build(sliceIter(rows), nil, 0)
+	}
+	res := pa.ctx.Spill.Governor().Reservation("hash aggregate")
+	defer res.Release()
+	return pa.build(sliceIter(rows), res, 0)
+}
+
+// rowIter yields rows; the bool result is false at end of input.
+type rowIter func() (value.Row, bool, error)
+
+func sliceIter(rows []value.Row) rowIter {
+	i := 0
+	return func() (value.Row, bool, error) {
+		if i >= len(rows) {
+			return nil, false, nil
+		}
+		r := rows[i]
+		i++
+		return r, true, nil
+	}
+}
+
+// stateFootprint estimates the bytes of one group's aggregate states.
+func stateFootprint(n int) int64 { return 64 + int64(n)*64 }
+
+// build aggregates the iterator's rows into a group map, spilling new-group
+// rows once res denies the table more entries. At maxGraceDepth the bytes are
+// forced instead (a single group's rows always re-scatter to the same file,
+// so depth alone cannot split skew).
+func (pa *partAgg) build(next rowIter, res *spill.Reservation, depth int) (map[uint64][]*aggGroup, error) {
+	groups := map[uint64][]*aggGroup{}
+	force := depth >= maxGraceDepth
+	salt := graceSalt(depth)
+	var writers []*spill.Writer
+	abortAll := func() {
+		for _, w := range writers {
+			if w != nil {
+				_ = w.Abort() // the original error is the actionable one
+			}
+		}
+	}
+	for {
+		r, ok, err := next()
+		if err != nil {
+			abortAll()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		kv, err := evalKeys(pa.a.GroupBy, r)
+		if err != nil {
+			abortAll()
+			return nil, err
+		}
+		h := hashVals(kv)
+		var g *aggGroup
+		for _, cand := range groups[h] {
+			if valsEqual(cand.keys, kv) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			if writers != nil {
+				// Overflow mode: this group is not in the table, so its rows
+				// scatter out (all of them — same hash, same file — so each
+				// spilled group is complete within its file).
+				idx := int(mix64(h^salt) % uint64(len(writers)))
+				if err := writers[idx].Append(r); err != nil {
+					abortAll()
+					return nil, err
+				}
+				continue
+			}
+			fp := valsFootprint(kv) + stateFootprint(len(pa.a.Aggs))
+			if res != nil && !force && !res.Grow(fp) {
+				// Pressure: open the overflow files; this row is the first
+				// one out.
+				writers = make([]*spill.Writer, aggSpillFanout)
+				for i := range writers {
+					w, err := pa.ctx.Spill.NewWriter(fmt.Sprintf("agg-p%d-d%d-%d", pa.part, depth, i))
+					if err != nil {
+						abortAll()
+						return nil, err
+					}
+					writers[i] = w
+				}
+				idx := int(mix64(h^salt) % uint64(len(writers)))
+				if err := writers[idx].Append(r); err != nil {
+					abortAll()
+					return nil, err
+				}
+				continue
+			}
+			if res != nil && force {
+				res.Force(fp)
+			}
+			g = &aggGroup{keys: kv, states: newStates(pa.a.Aggs, !pa.ctx.DisableAggFusion)}
+			groups[h] = append(groups[h], g)
+		}
+		if err := stepStates(g.states, pa.a.Aggs, r); err != nil {
+			abortAll()
+			return nil, err
+		}
+	}
+	if writers == nil {
+		return groups, nil
+	}
+	runs := make([]*spill.Run, len(writers))
+	for i, w := range writers {
+		run, err := w.Finish()
+		if err != nil {
+			for j := i + 1; j < len(writers); j++ {
+				_ = writers[j].Abort()
+			}
+			removeRunSlice(runs)
+			return nil, err
+		}
+		runs[i] = run
+	}
+	for i, run := range runs {
+		child, err := pa.buildFromRun(run, res, depth+1)
+		runs[i] = nil
+		if err != nil {
+			removeRunSlice(runs)
+			return nil, err
+		}
+		if err := mergeGroupMaps(groups, child); err != nil {
+			removeRunSlice(runs)
+			return nil, err
+		}
+	}
+	return groups, nil
+}
+
+// buildFromRun recursively aggregates one overflow file and removes it.
+func (pa *partAgg) buildFromRun(run *spill.Run, res *spill.Reservation, depth int) (map[uint64][]*aggGroup, error) {
+	rd, err := run.Reader()
+	if err != nil {
+		return nil, err
+	}
+	groups, err := pa.build(rd.Next, res, depth)
+	if err != nil {
+		_ = rd.Close() // the build error is the actionable one
+		return nil, err
+	}
+	if err := rd.Close(); err != nil {
+		return nil, err
+	}
+	if err := run.Remove(); err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+// mergeGroupMaps folds the child map into dst. Spilled groups are disjoint
+// from the parent table by construction (in-table groups keep stepping in
+// place), but merge defensively anyway, in sorted hash order so any
+// floating-point accumulation stays deterministic.
+func mergeGroupMaps(dst, src map[uint64][]*aggGroup) error {
+	for _, h := range sortedHashes(src) {
+		for _, g := range src[h] {
+			var tgt *aggGroup
+			for _, cand := range dst[h] {
+				if valsEqual(cand.keys, g.keys) {
+					tgt = cand
+					break
+				}
+			}
+			if tgt == nil {
+				dst[h] = append(dst[h], g)
+				continue
+			}
+			for i := range tgt.states {
+				if err := tgt.states[i].Merge(g.states[i]); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@ import (
 
 	"relalg/internal/cluster"
 	"relalg/internal/plan"
+	"relalg/internal/spill"
 	"relalg/internal/value"
 )
 
@@ -142,6 +143,38 @@ type Context struct {
 	// operator (stage-at-a-time, the seed executor's behaviour). Used by the
 	// benchmark harness and the allocation-regression tests as the baseline.
 	DisablePipelineFusion bool
+	// Spill carries the per-query memory governor and temp-file layer. When
+	// nil or budget-less, every operator runs strictly in memory (the seed
+	// behaviour); when enabled, the hash join, hash aggregation, and sort go
+	// out-of-core under pressure instead of growing without bound.
+	Spill *spill.Manager
+}
+
+// spillEnabled reports whether a memory budget governs this query.
+func (c *Context) spillEnabled() bool { return c.Spill.Enabled() }
+
+// opErr tags err with the operator that tripped it, so budget exhaustion and
+// spill-layer failures are diagnosable; %w keeps errors.Is matching (the
+// failure tests pin both properties).
+func opErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w", op, err)
+}
+
+// rowFootprint is the governed in-memory cost of holding one row in an
+// operator's working set: the codec's encoded payload plus slice and header
+// overhead.
+func rowFootprint(r value.Row) int64 { return int64(r.SizeBytes()) + 48 }
+
+// valsFootprint is the governed cost of a slice of evaluated key values.
+func valsFootprint(vals []value.Value) int64 {
+	n := int64(32)
+	for _, v := range vals {
+		n += int64(v.SizeBytes())
+	}
+	return n
 }
 
 // Run executes a plan and returns the materialized result.
@@ -262,7 +295,7 @@ func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
 		return nil, err
 	}
 	if err := ctx.Cluster.ChargeTuples(int64(in.NumRows())); err != nil {
-		return nil, err
+		return nil, opErr("project", err)
 	}
 	// A projection keeps the physical placement of its input; preserved
 	// hash keys would require rewriting them through the projection, so we
@@ -299,7 +332,7 @@ func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
 	// theirs; charge them so filtering is not free in the simulated cost
 	// model.
 	if err := ctx.Cluster.ChargeTuples(int64(rel.NumRows())); err != nil {
-		return nil, err
+		return nil, opErr("filter", err)
 	}
 	return rel, nil
 }
@@ -311,34 +344,53 @@ func runSort(ctx *Context, s *plan.Sort) (*Relation, error) {
 	}
 	defer ctx.Timings.Track("sort")()
 	rows := ctx.Cluster.Gather(in.Parts)
-	var sortErr error
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range s.Keys {
-			c, err := compareForSort(rows[i][k.Col], rows[j][k.Col])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	if sortErr != nil {
-		return nil, sortErr
+	if ctx.spillEnabled() {
+		rows, err = externalSort(ctx, s.Keys, rows)
+	} else {
+		err = sortRowsStable(s.Keys, rows)
+	}
+	if err != nil {
+		return nil, opErr("sort", err)
 	}
 	// The gather materializes every row on one partition.
 	if err := ctx.Cluster.ChargeTuples(int64(len(rows))); err != nil {
-		return nil, err
+		return nil, opErr("sort", err)
 	}
 	parts := make([][]value.Row, ctx.Cluster.Partitions())
 	parts[0] = rows
 	return &Relation{Schema: s.Schema(), Parts: parts, Single: true}, nil
+}
+
+// sortRowsStable stable-sorts rows in place by the order keys.
+func sortRowsStable(keys []plan.OrderKey, rows []value.Row) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		c, err := compareRowsByKeys(keys, rows[i], rows[j])
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		return c < 0
+	})
+	return sortErr
+}
+
+// compareRowsByKeys orders two rows by the sort keys (-1, 0, +1).
+func compareRowsByKeys(keys []plan.OrderKey, a, b value.Row) (int, error) {
+	for _, k := range keys {
+		c, err := compareForSort(a[k.Col], b[k.Col])
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return 0, nil
 }
 
 // compareForSort orders values with NULLs first.
@@ -360,14 +412,26 @@ func runLimit(ctx *Context, l *plan.Limit) (*Relation, error) {
 		return nil, err
 	}
 	defer ctx.Timings.Track("limit")()
-	rows := ctx.Cluster.Gather(in.Parts)
+	// Truncate every partition before the gather: LIMIT k can never surface
+	// more than the first k rows of any partition, so a huge relation
+	// contributes O(P·k) rows to the single-partition gather instead of its
+	// full size. Gather concatenates partitions in order, so the first k of
+	// the trimmed gather equal the first k of the untrimmed one.
+	trimmed := make([][]value.Row, len(in.Parts))
+	for i, p := range in.Parts {
+		if len(p) > l.N {
+			p = p[:l.N]
+		}
+		trimmed[i] = p
+	}
+	rows := ctx.Cluster.Gather(trimmed)
 	if len(rows) > l.N {
 		rows = rows[:l.N]
 	}
 	// Charge the rows that survive the truncation — what the operator
 	// actually materializes on its single output partition.
 	if err := ctx.Cluster.ChargeTuples(int64(len(rows))); err != nil {
-		return nil, err
+		return nil, opErr("limit", err)
 	}
 	parts := make([][]value.Row, ctx.Cluster.Partitions())
 	parts[0] = rows

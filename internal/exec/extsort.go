@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"relalg/internal/plan"
+	"relalg/internal/spill"
+	"relalg/internal/value"
+)
+
+// External merge sort: when the memory governor denies the sort buffer more
+// bytes, the buffered batch is stable-sorted and spilled as one run; on
+// read-back a k-way merge recombines the runs. Ties across runs break toward
+// the earlier run, and the final in-memory batch merges last, so the output
+// row order is exactly what sort.SliceStable over the whole input would have
+// produced — external and in-memory sorts are bit-identical.
+
+// externalSort sorts rows by keys under the query's memory budget, spilling
+// sorted runs when the sort buffer exceeds its reservation.
+func externalSort(ctx *Context, keys []plan.OrderKey, rows []value.Row) ([]value.Row, error) {
+	res := ctx.Spill.Governor().Reservation("sort")
+	defer res.Release()
+
+	var runs []*spill.Run
+	removeRuns := func() {
+		for _, r := range runs {
+			_ = r.Remove() // best-effort on error paths; Manager.Close sweeps the rest
+		}
+	}
+
+	var batch []value.Row
+	for _, r := range rows {
+		fp := rowFootprint(r)
+		if !res.Grow(fp) {
+			run, err := spillSortedRun(ctx, keys, batch)
+			if err != nil {
+				removeRuns()
+				return nil, err
+			}
+			runs = append(runs, run)
+			batch = nil
+			res.Reset()
+			res.Force(fp) // the row that tripped the budget still joins the fresh batch
+		}
+		batch = append(batch, r)
+	}
+	if len(runs) == 0 {
+		// Everything fit: plain in-memory sort.
+		if err := sortRowsStable(keys, batch); err != nil {
+			return nil, err
+		}
+		return batch, nil
+	}
+	if err := sortRowsStable(keys, batch); err != nil {
+		removeRuns()
+		return nil, err
+	}
+	out, err := mergeSortedRuns(ctx, keys, runs, batch, len(rows))
+	if err != nil {
+		removeRuns()
+		return nil, err
+	}
+	for _, run := range runs {
+		if err := run.Remove(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// spillSortedRun stable-sorts batch and writes it out as one run.
+func spillSortedRun(ctx *Context, keys []plan.OrderKey, batch []value.Row) (*spill.Run, error) {
+	if err := sortRowsStable(keys, batch); err != nil {
+		return nil, err
+	}
+	w, err := ctx.Spill.NewWriter("sort")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range batch {
+		if err := w.Append(r); err != nil {
+			_ = w.Abort() // the append error is the actionable one
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+// mergeSource is one input of the k-way merge: a spilled run or the final
+// in-memory batch.
+type mergeSource struct {
+	reader *spill.Reader // nil for the in-memory batch
+	batch  []value.Row
+	i      int
+	cur    value.Row
+	ok     bool
+}
+
+func (s *mergeSource) advance() error {
+	if s.reader == nil {
+		if s.i < len(s.batch) {
+			s.cur, s.ok = s.batch[s.i], true
+			s.i++
+		} else {
+			s.cur, s.ok = nil, false
+		}
+		return nil
+	}
+	row, ok, err := s.reader.Next()
+	if err != nil {
+		return err
+	}
+	s.cur, s.ok = row, ok
+	return nil
+}
+
+// mergeSortedRuns merges the sorted runs plus the final sorted in-memory
+// batch. Sources are ordered by creation (run 0 holds the earliest input
+// rows, the batch the latest), and ties select the lowest source index, which
+// is what preserves the stable order of the original input.
+func mergeSortedRuns(ctx *Context, keys []plan.OrderKey, runs []*spill.Run, batch []value.Row, total int) ([]value.Row, error) {
+	sources := make([]*mergeSource, 0, len(runs)+1)
+	closeAll := func() {
+		for _, s := range sources {
+			if s.reader != nil {
+				_ = s.reader.Close() // read-side error already reported
+			}
+		}
+	}
+	for _, run := range runs {
+		rd, err := run.Reader()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		sources = append(sources, &mergeSource{reader: rd})
+	}
+	sources = append(sources, &mergeSource{batch: batch})
+	for _, s := range sources {
+		if err := s.advance(); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	out := make([]value.Row, 0, total)
+	for {
+		best := -1
+		for i, s := range sources {
+			if !s.ok {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			c, err := compareRowsByKeys(keys, s.cur, sources[best].cur)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			if c < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, sources[best].cur)
+		if err := sources[best].advance(); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	for _, s := range sources {
+		if s.reader != nil {
+			if err := s.reader.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"relalg/internal/builtins"
 	"relalg/internal/catalog"
+	"relalg/internal/cluster"
 	"relalg/internal/linalg"
 	"relalg/internal/plan"
 	"relalg/internal/types"
@@ -132,6 +133,54 @@ func TestResidualErrorAborts(t *testing.T) {
 		Out: append(append(plan.Schema{}, l.Out...), r.Out...)}
 	if _, err := Run(ctx, cross); err == nil {
 		t.Fatal("cross residual error swallowed")
+	}
+}
+
+// TestBudgetErrorsNameOperator: when the intermediate-tuple budget trips, the
+// error names the operator that tripped it and errors.Is still matches
+// cluster.ErrResourceExhausted (callers branch on the sentinel; humans read
+// the label).
+func TestBudgetErrorsNameOperator(t *testing.T) {
+	newCtx := func(tables memSource, budget int64) *Context {
+		cl := cluster.New(cluster.Config{Nodes: 2, PartitionsPerNode: 2,
+			SerializeShuffles: true, MaxIntermediateTuples: budget})
+		return &Context{Cluster: cl, Tables: tables, Timings: NewTimings()}
+	}
+
+	tables := memSource{}
+	seed := testCtx(tables)
+	tables["l"] = intTable(seed, 40)
+	tables["r"] = intTable(seed, 40)
+	l := scanNode("l", 40, catalog.Column{Name: "a", Type: types.TInt}, catalog.Column{Name: "b", Type: types.TInt})
+	r := scanNode("r", 40, catalog.Column{Name: "c", Type: types.TInt}, catalog.Column{Name: "d", Type: types.TInt})
+
+	cases := []struct {
+		label  string
+		budget int64
+		node   plan.Node
+	}{
+		// Join on b=d (5 distinct values → 40*8=320 matches) blows a 50-tuple
+		// budget inside the probe loop. Sort and aggregate charge their 40
+		// output rows, so a budget of 30 trips them (scans don't charge).
+		{"hash join", 50, joinNode(l, r, 1, 1)},
+		{"cross join", 50, &plan.Cross{L: l, R: r, Out: append(append(plan.Schema{}, l.Out...), r.Out...)}},
+		{"sort", 30, &plan.Sort{Input: l, Keys: []plan.OrderKey{{Col: 0}}}},
+		{"aggregate", 30, &plan.Agg{Input: l,
+			GroupBy: []plan.Expr{col(0, types.TInt)},
+			Out:     plan.Schema{{Name: "a", T: types.TInt}}}},
+	}
+	for _, tc := range cases {
+		_, err := Run(newCtx(tables, tc.budget), tc.node)
+		if err == nil {
+			t.Errorf("%s: budget not tripped", tc.label)
+			continue
+		}
+		if !errors.Is(err, cluster.ErrResourceExhausted) {
+			t.Errorf("%s: errors.Is(ErrResourceExhausted) = false: %v", tc.label, err)
+		}
+		if !strings.Contains(err.Error(), tc.label+":") {
+			t.Errorf("%s: error does not name the operator: %v", tc.label, err)
+		}
 	}
 }
 

@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"fmt"
 	"sync"
 
 	"relalg/internal/plan"
+	"relalg/internal/spill"
 	"relalg/internal/value"
 )
 
@@ -150,69 +152,27 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 		lrows, rrows := lparts[part], rparts[part]
 		buildLeft := len(lrows) <= len(rrows)
 
-		type bucket struct {
-			keys []value.Value
-			row  value.Row
-		}
-		table := map[uint64][]bucket{}
 		buildRows, probeRows := lrows, rrows
 		buildKeys, probeKeys := j.LKeys, j.RKeys
 		if !buildLeft {
 			buildRows, probeRows = rrows, lrows
 			buildKeys, probeKeys = j.RKeys, j.LKeys
 		}
-		for _, r := range buildRows {
-			kv, err := evalKeys(buildKeys, r)
-			if err != nil {
-				return err
-			}
-			h := hashVals(kv)
-			table[h] = append(table[h], bucket{keys: kv, row: r})
+		pj := &partJoin{
+			ctx:       ctx,
+			j:         j,
+			proj:      proj,
+			buildKeys: buildKeys,
+			probeKeys: probeKeys,
+			buildLeft: buildLeft,
+			charge:    newCharger(ctx, "hash join"),
+			part:      part,
 		}
-		var rows []value.Row
-		charge := newCharger(ctx)
-		for _, pr := range probeRows {
-			kv, err := evalKeys(probeKeys, pr)
-			if err != nil {
-				return err
-			}
-			for _, b := range table[hashVals(kv)] {
-				if !valsEqual(kv, b.keys) {
-					continue
-				}
-				nr := make(value.Row, 0, len(j.Out))
-				if buildLeft {
-					nr = append(nr, b.row...)
-					nr = append(nr, pr...)
-				} else {
-					nr = append(nr, pr...)
-					nr = append(nr, b.row...)
-				}
-				keep := true
-				for _, res := range j.Residual {
-					v, err := res.Eval(nr)
-					if err != nil {
-						return err
-					}
-					if !(v.Kind == value.KindBool && v.B) {
-						keep = false
-						break
-					}
-				}
-				if keep {
-					emitted, err := proj.emit(nr)
-					if err != nil {
-						return err
-					}
-					rows = append(rows, emitted)
-					if err := charge.tick(); err != nil {
-						return err
-					}
-				}
-			}
+		if err := pj.run(buildRows, probeRows); err != nil {
+			return err
 		}
-		out[part] = rows
-		return charge.flush()
+		out[part] = pj.rows
+		return pj.charge.flush()
 	})
 	if err != nil {
 		return nil, err
@@ -226,15 +186,359 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 	return rel, nil
 }
 
+// joinBucket is one build-side entry of the hash table: the evaluated key
+// tuple plus the source row.
+type joinBucket struct {
+	keys []value.Value
+	row  value.Row
+}
+
+// partJoin joins one partition's build and probe slices, going out-of-core
+// (grace hash join) when the memory governor denies the build table its
+// working set.
+type partJoin struct {
+	ctx       *Context
+	j         *plan.Join
+	proj      *projectSpec
+	buildKeys []plan.Expr
+	probeKeys []plan.Expr
+	buildLeft bool
+	charge    *charger
+	part      int
+	rows      []value.Row
+}
+
+// maxGraceDepth bounds the recursive re-partitioning of a grace join; at the
+// limit the build table is forced into memory (skew on a single key cannot be
+// subdivided by re-hashing it).
+const maxGraceDepth = 3
+
+// run joins buildRows against probeRows. Without a memory budget this is the
+// strictly-in-memory hash join; with one, a denied build-table reservation
+// switches the partition to grace mode.
+func (pj *partJoin) run(buildRows, probeRows []value.Row) error {
+	if !pj.ctx.spillEnabled() {
+		table, _, err := pj.buildTable(buildRows, nil, false)
+		if err != nil {
+			return err
+		}
+		return pj.probeSlice(table, probeRows)
+	}
+	res := pj.ctx.Spill.Governor().Reservation("hash join build")
+	defer res.Release()
+	table, ok, err := pj.buildTable(buildRows, res, false)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return pj.probeSlice(table, probeRows)
+	}
+	// The build side does not fit. Discard the partial table (re-reading the
+	// original slice keeps the spill files in input order; draining the map
+	// would write them in nondeterministic map order) and grace-partition.
+	res.Reset()
+	return pj.grace(buildRows, probeRows, res, 0)
+}
+
+// buildTable builds the hash table over rows. With a reservation, a denied
+// growth aborts the build and returns ok=false; with force set the bytes are
+// charged unconditionally instead (max recursion depth).
+func (pj *partJoin) buildTable(rows []value.Row, res *spill.Reservation, force bool) (map[uint64][]joinBucket, bool, error) {
+	table := make(map[uint64][]joinBucket, len(rows))
+	for _, r := range rows {
+		kv, err := evalKeys(pj.buildKeys, r)
+		if err != nil {
+			return nil, false, err
+		}
+		if res != nil {
+			fp := rowFootprint(r) + valsFootprint(kv)
+			if force {
+				res.Force(fp)
+			} else if !res.Grow(fp) {
+				return nil, false, nil
+			}
+		}
+		h := hashVals(kv)
+		table[h] = append(table[h], joinBucket{keys: kv, row: r})
+	}
+	return table, true, nil
+}
+
+// probeSlice probes every row of the slice against the table.
+func (pj *partJoin) probeSlice(table map[uint64][]joinBucket, probeRows []value.Row) error {
+	for _, pr := range probeRows {
+		if err := pj.probeRow(table, pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeRow emits the join output for one probe row.
+func (pj *partJoin) probeRow(table map[uint64][]joinBucket, pr value.Row) error {
+	kv, err := evalKeys(pj.probeKeys, pr)
+	if err != nil {
+		return err
+	}
+	for _, b := range table[hashVals(kv)] {
+		if !valsEqual(kv, b.keys) {
+			continue
+		}
+		nr := make(value.Row, 0, len(pj.j.Out))
+		if pj.buildLeft {
+			nr = append(nr, b.row...)
+			nr = append(nr, pr...)
+		} else {
+			nr = append(nr, pr...)
+			nr = append(nr, b.row...)
+		}
+		keep := true
+		for _, res := range pj.j.Residual {
+			v, err := res.Eval(nr)
+			if err != nil {
+				return err
+			}
+			if !(v.Kind == value.KindBool && v.B) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			emitted, err := pj.proj.emit(nr)
+			if err != nil {
+				return err
+			}
+			pj.rows = append(pj.rows, emitted)
+			if err := pj.charge.tick(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// graceFanout picks the sub-partition count so each sub-build plausibly fits
+// the partition's budget share: enough files to subdivide the estimated build
+// bytes, clamped to keep file counts sane.
+func (pj *partJoin) graceFanout(buildRows []value.Row) int {
+	var est int64
+	for _, r := range buildRows {
+		est += rowFootprint(r)
+	}
+	share := pj.ctx.Spill.Governor().Budget() / int64(pj.ctx.Cluster.Partitions())
+	if share < minGraceShare {
+		share = minGraceShare
+	}
+	f := int(est/share) + 1
+	if f < 4 {
+		f = 4
+	}
+	if f > 64 {
+		f = 64
+	}
+	return f
+}
+
+// minGraceShare floors the per-partition budget share used for fanout
+// estimation, so a tiny budget doesn't explode the file count.
+const minGraceShare = 16 << 10
+
+// grace runs the out-of-core join: both sides are hash-partitioned into F
+// spill files by a salted re-hash of the join keys, then each sub-partition
+// pair is joined independently — build sides that still don't fit recurse with
+// a fresh salt until maxGraceDepth. Sub-partitions are processed in index
+// order and each file preserves input order, so the output is deterministic
+// (though bucket-major, unlike the in-memory probe order).
+func (pj *partJoin) grace(buildRows, probeRows []value.Row, res *spill.Reservation, depth int) error {
+	f := pj.graceFanout(buildRows)
+	salt := graceSalt(depth)
+	buildRuns, err := pj.spillSide("join-build", pj.buildKeys, buildRows, f, salt)
+	if err != nil {
+		return err
+	}
+	probeRuns, err := pj.spillSide("join-probe", pj.probeKeys, probeRows, f, salt)
+	if err != nil {
+		removeRunSlice(buildRuns)
+		return err
+	}
+	for i := 0; i < f; i++ {
+		err := pj.graceSub(buildRuns[i], probeRuns[i], res, depth)
+		buildRuns[i], probeRuns[i] = nil, nil
+		if err != nil {
+			removeRunSlice(buildRuns)
+			removeRunSlice(probeRuns)
+			return err
+		}
+	}
+	return nil
+}
+
+// graceSub joins one sub-partition pair and removes its run files.
+func (pj *partJoin) graceSub(buildRun, probeRun *spill.Run, res *spill.Reservation, depth int) error {
+	defer res.Reset()
+	if buildRun.Rows == 0 || probeRun.Rows == 0 {
+		// No matches possible; just reclaim the disk.
+		if err := buildRun.Remove(); err != nil {
+			return err
+		}
+		return probeRun.Remove()
+	}
+	subBuild, err := readRun(buildRun)
+	if err != nil {
+		return err
+	}
+	if err := buildRun.Remove(); err != nil {
+		return err
+	}
+	table, ok, err := pj.buildTable(subBuild, res, depth+1 >= maxGraceDepth)
+	if err != nil {
+		_ = probeRun.Remove() // the build error is the actionable one
+		return err
+	}
+	if !ok {
+		// Still too big: recurse with the next salt so rows re-scatter.
+		res.Reset()
+		subProbe, err := readRun(probeRun)
+		if err != nil {
+			return err
+		}
+		if err := probeRun.Remove(); err != nil {
+			return err
+		}
+		return pj.grace(subBuild, subProbe, res, depth+1)
+	}
+	rd, err := probeRun.Reader()
+	if err != nil {
+		return err
+	}
+	for {
+		row, more, err := rd.Next()
+		if err != nil {
+			_ = rd.Close()
+			return err
+		}
+		if !more {
+			break
+		}
+		if err := pj.probeRow(table, row); err != nil {
+			_ = rd.Close()
+			return err
+		}
+	}
+	if err := rd.Close(); err != nil {
+		return err
+	}
+	return probeRun.Remove()
+}
+
+// spillSide hash-scatters one side's rows into f run files by
+// mix64(keyHash^salt) % f, preserving input order within each file.
+func (pj *partJoin) spillSide(label string, keys []plan.Expr, rows []value.Row, f int, salt uint64) ([]*spill.Run, error) {
+	writers := make([]*spill.Writer, f)
+	abortAll := func() {
+		for _, w := range writers {
+			if w != nil {
+				_ = w.Abort() // the original error is the actionable one
+			}
+		}
+	}
+	for i := range writers {
+		w, err := pj.ctx.Spill.NewWriter(fmt.Sprintf("%s-p%d-%d", label, pj.part, i))
+		if err != nil {
+			abortAll()
+			return nil, err
+		}
+		writers[i] = w
+	}
+	for _, r := range rows {
+		kv, err := evalKeys(keys, r)
+		if err != nil {
+			abortAll()
+			return nil, err
+		}
+		idx := int(mix64(hashVals(kv)^salt) % uint64(f))
+		if err := writers[idx].Append(r); err != nil {
+			abortAll()
+			return nil, err
+		}
+	}
+	runs := make([]*spill.Run, f)
+	for i, w := range writers {
+		run, err := w.Finish()
+		if err != nil {
+			writers[i] = nil
+			abortAll()
+			removeRunSlice(runs)
+			return nil, err
+		}
+		writers[i] = nil
+		runs[i] = run
+	}
+	return runs, nil
+}
+
+// readRun materializes a run's rows back into memory.
+func readRun(run *spill.Run) ([]value.Row, error) {
+	rd, err := run.Reader()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]value.Row, 0, run.Rows)
+	for {
+		row, more, err := rd.Next()
+		if err != nil {
+			_ = rd.Close()
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := rd.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// removeRunSlice best-effort-removes runs on error paths (nil entries are
+// already handled); Manager.Close sweeps anything left behind.
+func removeRunSlice(runs []*spill.Run) {
+	for _, r := range runs {
+		if r != nil {
+			_ = r.Remove()
+		}
+	}
+}
+
+// mix64 is the splitmix64 finalizer: it decorrelates the sub-partition index
+// from the partition shuffle's own use of the key hash, so grace files don't
+// all collapse into one bucket.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// graceSalt varies the scatter per recursion depth so a sub-partition that
+// recurses actually re-distributes.
+func graceSalt(depth int) uint64 {
+	return mix64(0x9e3779b97f4a7c15 * uint64(depth+1))
+}
+
 // charger batches intermediate-tuple accounting so the budget guard fires
 // while a runaway join is still producing, not after it has materialized
 // everything (the mechanism behind the paper's "Fail" entries).
 type charger struct {
 	ctx     *Context
+	op      string
 	pending int64
 }
 
-func newCharger(ctx *Context) *charger { return &charger{ctx: ctx} }
+func newCharger(ctx *Context, op string) *charger { return &charger{ctx: ctx, op: op} }
 
 func (c *charger) tick() error {
 	c.pending++
@@ -250,7 +554,7 @@ func (c *charger) flush() error {
 	}
 	n := c.pending
 	c.pending = 0
-	return c.ctx.Cluster.ChargeTuples(n)
+	return opErr(c.op, c.ctx.Cluster.ChargeTuples(n))
 }
 
 func shuffleByKeys(ctx *Context, parts [][]value.Row, keys []plan.Expr) ([][]value.Row, error) {
@@ -315,7 +619,7 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 	out := make([][]value.Row, ctx.Cluster.Partitions())
 	err = ctx.Cluster.Parallel(func(part int) error {
 		var rows []value.Row
-		charge := newCharger(ctx)
+		charge := newCharger(ctx, "cross join")
 		for _, br := range big.Parts[part] {
 			for _, sr := range smallParts[part] {
 				nr := make(value.Row, 0, len(c.Out))

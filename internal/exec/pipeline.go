@@ -112,7 +112,7 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 		rel.HashKeys = keys
 	}
 	if err := ctx.Cluster.ChargeTuples(int64(rel.NumRows())); err != nil {
-		return nil, err
+		return nil, opErr("pipeline", err)
 	}
 	return rel, nil
 }

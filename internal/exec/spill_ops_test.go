@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"relalg/internal/builtins"
+	"relalg/internal/catalog"
+	"relalg/internal/cluster"
+	"relalg/internal/plan"
+	"relalg/internal/spill"
+	"relalg/internal/types"
+	"relalg/internal/value"
+)
+
+// spillCtx is testCtx plus a memory governor small enough that the operators
+// under test actually go out-of-core. The returned counters observe spill
+// activity; callers must Close the manager (and may then assert the temp dir
+// is gone).
+func spillCtx(t *testing.T, tables memSource, budget int64) (*Context, *spill.Manager, *atomic.Int64) {
+	t.Helper()
+	var spilled atomic.Int64
+	mgr := spill.NewManager(budget, spill.Hooks{
+		RunSpilled: func(bytes int64) { spilled.Add(1) },
+	})
+	t.Cleanup(func() {
+		if err := mgr.Close(); err != nil {
+			t.Errorf("spill manager close: %v", err)
+		}
+	})
+	cl := cluster.New(cluster.Config{Nodes: 2, PartitionsPerNode: 2, SerializeShuffles: true})
+	return &Context{Cluster: cl, Tables: tables, Timings: NewTimings(), Spill: mgr}, mgr, &spilled
+}
+
+// wideTable builds n rows of (id, grp, payload-string): the payload makes each
+// row heavy enough that small budgets trip mid-operator.
+func wideTable(ctx *Context, n int) [][]value.Row {
+	rows := make([]value.Row, n)
+	pad := make([]byte, 64)
+	for i := range pad {
+		pad[i] = byte('a' + i%26)
+	}
+	for i := range rows {
+		rows[i] = value.Row{value.Int(int64(i)), value.Int(int64(i % 7)), value.String_(string(pad))}
+	}
+	return ctx.Cluster.ScatterRoundRobin(rows)
+}
+
+func wideScan(name string, n int64) *plan.Scan {
+	return scanNode(name, n,
+		catalog.Column{Name: "id", Type: types.TInt},
+		catalog.Column{Name: "grp", Type: types.TInt},
+		catalog.Column{Name: "pad", Type: types.TString})
+}
+
+func mustRows(t *testing.T, ctx *Context, n plan.Node) []value.Row {
+	t.Helper()
+	rel, err := Run(ctx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.Rows()
+}
+
+func sameRows(a, b []value.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !a[i][j].Equal(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortCanonical orders rows by their full encoded form, for multiset
+// comparison of operators that don't promise an output order.
+func sortCanonical(rows []value.Row) []value.Row {
+	out := append([]value.Row(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		return string(value.AppendRow(nil, out[i])) < string(value.AppendRow(nil, out[j]))
+	})
+	return out
+}
+
+// TestExternalSortMatchesInMemory: under a tiny budget the sort spills runs
+// and the merged output is row-for-row identical to the in-memory sort —
+// including the stable order of duplicate keys.
+func TestExternalSortMatchesInMemory(t *testing.T) {
+	const n = 500
+	keys := []plan.OrderKey{{Col: 1}} // grp has many duplicates: stability visible
+	sortNode := func(s *plan.Scan) *plan.Sort { return &plan.Sort{Input: s, Keys: keys} }
+
+	base := memSource{}
+	bctx := testCtx(base)
+	base["t"] = wideTable(bctx, n)
+	want := mustRows(t, bctx, sortNode(wideScan("t", n)))
+
+	tables := memSource{"t": base["t"]}
+	ctx, mgr, spilled := spillCtx(t, tables, 8<<10)
+	got := mustRows(t, ctx, sortNode(wideScan("t", n)))
+
+	if !sameRows(got, want) {
+		t.Fatal("external sort output differs from in-memory sort")
+	}
+	if spilled.Load() == 0 {
+		t.Fatal("no runs spilled at an 8KB budget")
+	}
+	if mgr.LiveRuns() != 0 {
+		t.Fatalf("%d run files leaked", mgr.LiveRuns())
+	}
+}
+
+// TestExternalSortDescAndTies exercises multi-key ordering with a DESC key
+// through the spill path.
+func TestExternalSortDescAndTies(t *testing.T) {
+	const n = 300
+	keys := []plan.OrderKey{{Col: 1, Desc: true}, {Col: 0}}
+	sortNode := func(s *plan.Scan) *plan.Sort { return &plan.Sort{Input: s, Keys: keys} }
+
+	base := memSource{}
+	bctx := testCtx(base)
+	base["t"] = wideTable(bctx, n)
+	want := mustRows(t, bctx, sortNode(wideScan("t", n)))
+
+	tables := memSource{"t": base["t"]}
+	ctx, _, spilled := spillCtx(t, tables, 8<<10)
+	got := mustRows(t, ctx, sortNode(wideScan("t", n)))
+	if !sameRows(got, want) {
+		t.Fatal("descending external sort differs from in-memory")
+	}
+	if spilled.Load() == 0 {
+		t.Fatal("no runs spilled")
+	}
+}
+
+// TestGraceJoinMatchesInMemory: the grace join's output is the same multiset
+// as the in-memory join (its order is bucket-major, so compare canonically),
+// and it is deterministic across runs.
+func TestGraceJoinMatchesInMemory(t *testing.T) {
+	const n = 400
+	join := func(l, r *plan.Scan) *plan.Join {
+		return &plan.Join{L: l, R: r,
+			LKeys: []plan.Expr{col(1, types.TInt)}, RKeys: []plan.Expr{col(1, types.TInt)},
+			Out: append(append(plan.Schema{}, l.Out...), r.Out...)}
+	}
+
+	base := memSource{}
+	bctx := testCtx(base)
+	base["l"] = wideTable(bctx, n)
+	base["r"] = wideTable(bctx, n/4)
+	want := sortCanonical(mustRows(t, bctx, join(wideScan("l", n), wideScan("r", n/4))))
+	if len(want) == 0 {
+		t.Fatal("join produced no rows; test data broken")
+	}
+
+	tables := memSource{"l": base["l"], "r": base["r"]}
+	ctx, mgr, spilled := spillCtx(t, tables, 8<<10)
+	got1 := mustRows(t, ctx, join(wideScan("l", n), wideScan("r", n/4)))
+	if !sameRows(sortCanonical(got1), want) {
+		t.Fatal("grace join result differs from in-memory join")
+	}
+	if spilled.Load() == 0 {
+		t.Fatal("no spills at an 8KB budget")
+	}
+	if mgr.LiveRuns() != 0 {
+		t.Fatalf("%d run files leaked", mgr.LiveRuns())
+	}
+
+	// Determinism: a second identical run produces the identical row order.
+	ctx2, _, _ := spillCtx(t, tables, 8<<10)
+	got2 := mustRows(t, ctx2, join(wideScan("l", n), wideScan("r", n/4)))
+	if !sameRows(got1, got2) {
+		t.Fatal("grace join output order is not deterministic")
+	}
+}
+
+// TestSpillAggMatchesInMemory: hybrid hash aggregation under pressure yields
+// exactly the in-memory grouping (same rows, same order — the sorted-hash
+// phases fix the order in both modes).
+func TestSpillAggMatchesInMemory(t *testing.T) {
+	const n = 600
+	aggNode := func(s *plan.Scan) *plan.Agg {
+		cnt := mustLookupAgg(t, "count")
+		sum := mustLookupAgg(t, "sum")
+		return &plan.Agg{Input: s,
+			GroupBy: []plan.Expr{col(0, types.TInt)},
+			Aggs: []plan.AggCall{
+				{Spec: cnt, T: types.TInt},
+				{Spec: sum, Input: col(1, types.TInt), T: types.TInt},
+			},
+			Out: plan.Schema{{Name: "id", T: types.TInt}, {Name: "n", T: types.TInt}, {Name: "s", T: types.TInt}}}
+	}
+	// Many distinct groups (id % 97) so the group table itself overflows.
+	mk := func(ctx *Context) [][]value.Row {
+		rows := make([]value.Row, n)
+		pad := make([]byte, 48)
+		for i := range pad {
+			pad[i] = 'x'
+		}
+		for i := range rows {
+			rows[i] = value.Row{value.Int(int64(i % 97)), value.Int(int64(i)), value.String_(string(pad))}
+		}
+		return ctx.Cluster.ScatterRoundRobin(rows)
+	}
+
+	base := memSource{}
+	bctx := testCtx(base)
+	base["t"] = mk(bctx)
+	want := mustRows(t, bctx, aggNode(wideScan("t", n)))
+	if len(want) != 97 {
+		t.Fatalf("baseline group count = %d, want 97", len(want))
+	}
+
+	tables := memSource{"t": base["t"]}
+	ctx, mgr, spilled := spillCtx(t, tables, 8<<10)
+	got := mustRows(t, ctx, aggNode(wideScan("t", n)))
+	if !sameRows(got, want) {
+		t.Fatal("spilling aggregation differs from in-memory aggregation")
+	}
+	if spilled.Load() == 0 {
+		t.Fatal("no spills at an 8KB budget")
+	}
+	if mgr.LiveRuns() != 0 {
+		t.Fatalf("%d run files leaked", mgr.LiveRuns())
+	}
+}
+
+func mustLookupAgg(t *testing.T, name string) *builtins.AggSpec {
+	t.Helper()
+	spec, ok := builtins.LookupAgg(name)
+	if !ok {
+		t.Fatalf("missing aggregate %s", name)
+	}
+	return spec
+}
+
+// TestLimitTruncatesPerPartition: runLimit must clip each partition before
+// gathering, so the gathered set is at most N rows per partition — observable
+// through TuplesProduced staying proportional to N, not to the input size.
+func TestLimitTruncatesPerPartition(t *testing.T) {
+	tables := memSource{}
+	ctx := testCtx(tables)
+	const n = 10000
+	tables["t"] = wideTable(ctx, n)
+	before := ctx.Cluster.Stats().TuplesProduced.Load()
+	rel, err := Run(ctx, &plan.Limit{Input: wideScan("t", n), N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.NumRows(); got != 3 {
+		t.Fatalf("limit rows = %d, want 3", got)
+	}
+	charged := ctx.Cluster.Stats().TuplesProduced.Load() - before
+	// Scan charges n; the limit itself must charge only the emitted rows, not
+	// the n gathered ones. Allow the per-partition pre-gather bound P*N.
+	maxLimitCharge := int64(ctx.Cluster.Partitions()) * 3
+	if charged > int64(n)+maxLimitCharge {
+		t.Fatalf("limit charged %d tuples beyond scan; want <= %d", charged-int64(n), maxLimitCharge)
+	}
+}

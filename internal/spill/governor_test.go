@@ -1,0 +1,121 @@
+package spill
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGovernorUnlimited(t *testing.T) {
+	for _, budget := range []int64{0, -1} {
+		g := NewGovernor(budget)
+		r := g.Reservation("op")
+		if !r.Grow(1 << 40) {
+			t.Fatalf("budget %d: unlimited governor denied growth", budget)
+		}
+		if g.Used() != 0 {
+			t.Fatalf("budget %d: unlimited governor tracked usage %d", budget, g.Used())
+		}
+		r.Release()
+	}
+	// A nil governor behaves the same (operators never nil-check).
+	var g *Governor
+	r := g.Reservation("op")
+	if !r.Grow(123) {
+		t.Fatal("nil governor denied growth")
+	}
+	if g.Budget() != 0 || g.Used() != 0 {
+		t.Fatal("nil governor reported nonzero budget or usage")
+	}
+}
+
+func TestGovernorDeniesOverBudget(t *testing.T) {
+	g := NewGovernor(100 << 10)
+	r := g.Reservation("op")
+	if !r.Grow(90 << 10) {
+		t.Fatal("in-budget growth denied")
+	}
+	if r.Grow(20 << 10) {
+		t.Fatal("over-budget growth granted beyond the floor")
+	}
+	if got := g.Used(); got != 90<<10 {
+		t.Fatalf("used = %d, want %d", got, 90<<10)
+	}
+	r.Reset()
+	if g.Used() != 0 {
+		t.Fatalf("used after reset = %d", g.Used())
+	}
+	if !r.Grow(20 << 10) {
+		t.Fatal("growth denied after reset")
+	}
+	r.Release()
+	if g.Used() != 0 {
+		t.Fatalf("used after release = %d", g.Used())
+	}
+}
+
+// TestGovernorProgressFloor: even with the budget fully held elsewhere, a
+// fresh reservation may force up to its floor so the operator can make
+// progress (buffer at least one block before spilling).
+func TestGovernorProgressFloor(t *testing.T) {
+	g := NewGovernor(64 << 10)
+	hog := g.Reservation("hog")
+	if !hog.Grow(64 << 10) {
+		t.Fatal("hog denied")
+	}
+	r := g.Reservation("small")
+	// floor = clamp(budget/16, 4096, 256K) = 4096 here.
+	if !r.Grow(1000) {
+		t.Fatal("floor growth denied")
+	}
+	if !r.Grow(3000) {
+		t.Fatal("second floor growth denied")
+	}
+	if r.Grow(4096) {
+		t.Fatal("growth past the floor granted while budget exhausted")
+	}
+	if g.Used() <= 64<<10 {
+		t.Fatalf("forced floor bytes not visible in Used: %d", g.Used())
+	}
+	hog.Release()
+	r.Release()
+	if g.Used() != 0 {
+		t.Fatalf("used after releases = %d", g.Used())
+	}
+}
+
+func TestGovernorFloorClamp(t *testing.T) {
+	// Large budget: floor caps at maxFloorBytes.
+	g := NewGovernor(1 << 30)
+	if f := g.Reservation("op").floor; f != maxFloorBytes {
+		t.Fatalf("floor = %d, want %d", f, maxFloorBytes)
+	}
+	// Tiny budget: floor is at least minFloorBytes.
+	g = NewGovernor(100)
+	if f := g.Reservation("op").floor; f != minFloorBytes {
+		t.Fatalf("floor = %d, want %d", f, minFloorBytes)
+	}
+}
+
+// TestGovernorConcurrent hammers one governor from many goroutines (the
+// race detector is the real assertion) and checks the books balance.
+func TestGovernorConcurrent(t *testing.T) {
+	g := NewGovernor(1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := g.Reservation("worker")
+			for j := 0; j < 1000; j++ {
+				if !r.Grow(512) {
+					r.Reset()
+				}
+			}
+			r.Release()
+		}()
+	}
+	wg.Wait()
+	if g.Used() != 0 {
+		t.Fatalf("used after all releases = %d", g.Used())
+	}
+}

@@ -1,0 +1,259 @@
+package spill
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relalg/internal/linalg"
+	"relalg/internal/value"
+)
+
+func testRows(n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.Int(int64(i)),
+			value.Double(float64(i) * 1.5),
+			value.String_(fmt.Sprintf("row-%d", i)),
+			value.Vector(linalg.VectorOf(float64(i), float64(-i), 0.25)),
+		}
+	}
+	return rows
+}
+
+func writeRun(t *testing.T, m *Manager, rows []value.Row) *Run {
+	t.Helper()
+	w, err := m.NewWriter("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func readAll(t *testing.T, run *Run) []value.Row {
+	t.Helper()
+	rd, err := run.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := rd.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out []value.Row
+	for {
+		r, ok, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func rowsEqual(a, b []value.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !a[i][j].Equal(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	m := NewManager(1<<20, Hooks{})
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rows := testRows(100)
+	run := writeRun(t, m, rows)
+	if run.Rows != 100 {
+		t.Fatalf("run.Rows = %d", run.Rows)
+	}
+	if got := readAll(t, run); !rowsEqual(got, rows) {
+		t.Fatal("read-back rows differ from written rows")
+	}
+	// A second sequential pass works too.
+	if got := readAll(t, run); !rowsEqual(got, rows) {
+		t.Fatal("second read pass differs")
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveRuns() != 0 {
+		t.Fatalf("live runs = %d after remove", m.LiveRuns())
+	}
+}
+
+// TestRunMultiBlock forces several blocks in one run (rows with a fat vector
+// exceed blockBytes quickly) and checks block framing is invisible to readers.
+func TestRunMultiBlock(t *testing.T) {
+	m := NewManager(1<<20, Hooks{})
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	big := linalg.NewVector(8192) // 64KB payload per row
+	for i := range big.Data {
+		big.Data[i] = float64(i)
+	}
+	rows := make([]value.Row, 20)
+	for i := range rows {
+		rows[i] = value.Row{value.Int(int64(i)), value.Vector(big)}
+	}
+	run := writeRun(t, m, rows)
+	if run.Bytes <= blockBytes {
+		t.Fatalf("run.Bytes = %d: expected multiple blocks (> %d)", run.Bytes, blockBytes)
+	}
+	if got := readAll(t, run); !rowsEqual(got, rows) {
+		t.Fatal("multi-block read-back differs")
+	}
+}
+
+// TestNaNRoundTrip: spilled NaN payloads come back bit-identical (Equal is
+// false for NaN, so compare bits directly).
+func TestNaNRoundTrip(t *testing.T) {
+	m := NewManager(1<<20, Hooks{})
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rows := []value.Row{{value.Double(math.NaN()), value.Double(math.Inf(1))}}
+	got := readAll(t, writeRun(t, m, rows))
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("shape mismatch: %v", got)
+	}
+	if math.Float64bits(got[0][0].D) != math.Float64bits(math.NaN()) && !math.IsNaN(got[0][0].D) {
+		t.Fatalf("NaN did not round-trip: %v", got[0][0].D)
+	}
+	if !math.IsInf(got[0][1].D, 1) {
+		t.Fatalf("+Inf did not round-trip: %v", got[0][1].D)
+	}
+}
+
+func TestManagerCleanup(t *testing.T) {
+	m := NewManager(1<<20, Hooks{})
+	r1 := writeRun(t, m, testRows(10))
+	writeRun(t, m, testRows(5))
+	dir := m.Dir()
+	if dir == "" || !strings.Contains(filepath.Base(dir), DirPrefix) {
+		t.Fatalf("temp dir %q", dir)
+	}
+	if m.LiveRuns() != 2 {
+		t.Fatalf("live runs = %d", m.LiveRuns())
+	}
+	if err := r1.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("temp dir still exists after Close (stat err %v)", err)
+	}
+	// Close is idempotent, and writers after Close fail.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewWriter("late"); err == nil {
+		t.Fatal("NewWriter after Close succeeded")
+	}
+}
+
+func TestManagerLazyDir(t *testing.T) {
+	m := NewManager(1<<20, Hooks{})
+	if m.Dir() != "" {
+		t.Fatal("temp dir created before first spill")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHooksAccounting(t *testing.T) {
+	var events, bytes int64
+	var ioCalls int
+	m := NewManager(1<<20, Hooks{
+		RunSpilled: func(b int64) { events++; bytes += b },
+		TrackIO:    func() func() { ioCalls++; return func() {} },
+	})
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	run := writeRun(t, m, testRows(50))
+	if events != 1 {
+		t.Fatalf("RunSpilled calls = %d", events)
+	}
+	if bytes != run.Bytes || bytes <= 0 {
+		t.Fatalf("bytes = %d, run.Bytes = %d", bytes, run.Bytes)
+	}
+	readAll(t, run)
+	if ioCalls == 0 {
+		t.Fatal("TrackIO never called")
+	}
+}
+
+func TestWriterAbort(t *testing.T) {
+	m := NewManager(1<<20, Hooks{})
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	w, err := m.NewWriter("abort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(value.Row{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveRuns() != 0 {
+		t.Fatalf("live runs = %d after abort", m.LiveRuns())
+	}
+}
+
+func TestDisabledManager(t *testing.T) {
+	var m *Manager
+	if m.Enabled() {
+		t.Fatal("nil manager enabled")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if NewManager(0, Hooks{}).Enabled() {
+		t.Fatal("zero-budget manager enabled")
+	}
+}

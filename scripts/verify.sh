@@ -21,9 +21,12 @@ echo "== go test =="
 go test -short ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/
+go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/
 
 echo "== kernel benchmark smoke =="
 go run ./cmd/labench -kernels -smoke -out ""
+
+echo "== out-of-core spill sweep smoke =="
+go run ./cmd/labench -spill -smoke
 
 echo "verify: all gates passed"
