@@ -19,6 +19,14 @@
 //
 //	labench -spill                            full sweep (unlimited → 16KiB)
 //	labench -spill -smoke                     seconds-long smoke sweep
+//
+// The fault sweep runs the same query under deterministic injected faults
+// (crashes, shuffle corruption, spill write failures, stragglers) at several
+// injector seeds and hard-fails unless every transient-only run reproduces
+// the fault-free baseline row-for-row:
+//
+//	labench -faults                           full sweep, 3 seeds x 2 legs
+//	labench -faults -smoke                    seconds-long smoke sweep
 package main
 
 import (
@@ -37,9 +45,27 @@ func main() {
 	seed := flag.Int64("seed", 0, "override data seed")
 	kernels := flag.Bool("kernels", false, "run the kernel benchmark suite instead of the figures")
 	spillSweep := flag.Bool("spill", false, "run the out-of-core spill sweep instead of the figures")
-	smoke := flag.Bool("smoke", false, "with -kernels or -spill: tiny sizes for a seconds-long smoke run")
+	faultSweep := flag.Bool("faults", false, "run the deterministic fault-injection sweep instead of the figures")
+	smoke := flag.Bool("smoke", false, "with -kernels, -spill or -faults: tiny sizes for a seconds-long smoke run")
 	out := flag.String("out", "BENCH_kernels.json", "with -kernels: JSON output path (empty = don't write)")
 	flag.Parse()
+
+	if *faultSweep {
+		fcfg := bench.DefaultFaultConfig()
+		if *smoke {
+			fcfg = bench.SmokeFaultConfig()
+		}
+		if *seed != 0 {
+			fcfg.Seed = *seed
+		}
+		rep, err := bench.RunFaultSweep(fcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "labench: faults: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		return
+	}
 
 	if *spillSweep {
 		scfg := bench.DefaultSpillConfig()

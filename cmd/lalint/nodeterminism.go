@@ -24,6 +24,7 @@ var nondetScope = []string{
 	"internal/bench",
 	"internal/workload",
 	"internal/spill",
+	"internal/fault",
 }
 
 func runNodeterminism(p *Pkg, r *Reporter) {

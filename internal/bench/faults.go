@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"relalg/internal/core"
+	"relalg/internal/fault"
+)
+
+// The fault sweep is the fault-injection subsystem's end-to-end gate: the
+// spill sweep's join+aggregate query runs once clean to establish a baseline,
+// then once per fault seed with every transient fault kind armed — partition
+// crashes, shuffle ser-de corruption, spill write failures, and stragglers
+// with speculative re-execution — both in memory and under a budget small
+// enough to force the out-of-core paths. Every faulted run must reproduce the
+// baseline row-for-row or the sweep hard-fails; a final permanent-fault run
+// must fail with a properly wrapped task error.
+
+// FaultConfig sizes the fault-injection sweep.
+type FaultConfig struct {
+	Rows    int // left-table rows; right table has Rows/2
+	Dim     int // vector dimensionality
+	Groups  int // distinct aggregation groups
+	Nodes   int
+	PerNode int
+	Seed    int64 // data seed
+	Budget  int64 // memory budget for the out-of-core leg; must force spilling
+	// FaultSeeds are the injector seeds to sweep; each runs an in-memory and
+	// an out-of-core leg.
+	FaultSeeds []uint64
+}
+
+// DefaultFaultConfig sweeps three seeds over a working set large enough that
+// every operator runs multi-partition.
+func DefaultFaultConfig() FaultConfig {
+	return FaultConfig{
+		Rows:       2000,
+		Dim:        16,
+		Groups:     20,
+		Nodes:      3,
+		PerNode:    2,
+		Seed:       1,
+		Budget:     32 << 10,
+		FaultSeeds: []uint64{1, 2, 3},
+	}
+}
+
+// SmokeFaultConfig finishes in a couple of seconds but keeps the acceptance
+// shape: at least three seeds, both legs, plus the permanent-fault check.
+func SmokeFaultConfig() FaultConfig {
+	return FaultConfig{
+		Rows:       600,
+		Dim:        8,
+		Groups:     10,
+		Nodes:      2,
+		PerNode:    2,
+		Seed:       1,
+		Budget:     8 << 10,
+		FaultSeeds: []uint64{1, 2, 3},
+	}
+}
+
+// Validate rejects sweeps that cannot serve as a correctness gate.
+func (c FaultConfig) Validate() error {
+	if c.Rows <= 0 || c.Dim <= 0 || c.Groups <= 0 || c.Nodes <= 0 || c.PerNode <= 0 {
+		return errors.New("bench: fault config sizes must be positive")
+	}
+	if c.Budget <= 0 {
+		return errors.New("bench: fault sweep needs a finite budget for the out-of-core leg")
+	}
+	if len(c.FaultSeeds) < 3 {
+		return errors.New("bench: fault sweep needs at least three injector seeds")
+	}
+	return nil
+}
+
+// FaultRow is one line of the sweep table.
+type FaultRow struct {
+	Seed                uint64
+	OutOfCore           bool
+	Elapsed             time.Duration
+	FaultsInjected      int64
+	TaskRetries         int64
+	SpeculativeLaunches int64
+}
+
+// FaultReport is the sweep result.
+type FaultReport struct {
+	Cfg  FaultConfig
+	Rows []FaultRow
+	// PermanentErr is the (expected) error from the permanent-fault run,
+	// already verified to wrap fault.ErrInjected and a *fault.TaskError.
+	PermanentErr error
+}
+
+// transientFaultConfig arms every transient fault kind at one injector seed.
+// The final attempt is always clean, so any seed converges.
+func transientFaultConfig(seed uint64, outOfCore bool) fault.Config {
+	cfg := fault.Config{
+		Seed:           seed,
+		MaxAttempts:    3,
+		RetryBackoff:   time.Microsecond,
+		CrashProb:      0.5,
+		ShuffleProb:    0.5,
+		SpillProb:      0.5,
+		StragglerProb:  0.3,
+		StragglerDelay: 200 * time.Microsecond,
+		Speculate:      true,
+	}
+	if outOfCore {
+		cfg.SpillProb = 1 // every spill label's early attempts fail
+	}
+	return cfg
+}
+
+// faultDB loads the sweep's working set under the given injector config.
+func faultDB(cfg FaultConfig, budget int64, faults fault.Config) (*core.Database, error) {
+	dbcfg := core.DefaultConfig()
+	dbcfg.Cluster.Nodes = cfg.Nodes
+	dbcfg.Cluster.PartitionsPerNode = cfg.PerNode
+	dbcfg.Cluster.MemoryBudgetBytes = budget
+	dbcfg.Cluster.Faults = faults
+	return loadSweepDB(dbcfg, cfg.Rows, cfg.Dim, cfg.Groups, cfg.Seed)
+}
+
+// RunFaultSweep runs the sweep. It returns an error if any faulted run's rows
+// diverge from the fault-free baseline, if no run ever retried a task (a
+// sweep that injects nothing gates nothing), or if the permanent-fault run
+// does not fail with a properly wrapped error.
+func RunFaultSweep(cfg FaultConfig) (*FaultReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &FaultReport{Cfg: cfg}
+
+	base, err := faultDB(cfg, 0, fault.Config{})
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := base.Query(spillSweepQuery)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fault sweep baseline: %w", err)
+	}
+
+	var totalRetries int64
+	for _, seed := range cfg.FaultSeeds {
+		for _, outOfCore := range []bool{false, true} {
+			budget := int64(0)
+			if outOfCore {
+				budget = cfg.Budget
+			}
+			db, err := faultDB(cfg, budget, transientFaultConfig(seed, outOfCore))
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now() //lint:ignore nodeterminism the wall-clock reading is the measured benchmark output, not simulation state
+			res, err := db.Query(spillSweepQuery)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fault seed %d (out-of-core=%v): transient-only run failed: %w", seed, outOfCore, err)
+			}
+			elapsed := time.Since(start) //lint:ignore nodeterminism the wall-clock reading is the measured benchmark output, not simulation state
+			if err := sameResults(baseline, res); err != nil {
+				return nil, fmt.Errorf("bench: fault seed %d (out-of-core=%v) diverged from fault-free baseline: %w", seed, outOfCore, err)
+			}
+			if outOfCore && res.Stats.SpillEvents == 0 {
+				return nil, fmt.Errorf("bench: fault seed %d: out-of-core leg never spilled; shrink the budget", seed)
+			}
+			totalRetries += res.Stats.TaskRetries
+			rep.Rows = append(rep.Rows, FaultRow{
+				Seed:                seed,
+				OutOfCore:           outOfCore,
+				Elapsed:             elapsed,
+				FaultsInjected:      res.Stats.FaultsInjected,
+				TaskRetries:         res.Stats.TaskRetries,
+				SpeculativeLaunches: res.Stats.SpeculativeLaunches,
+			})
+		}
+	}
+	if totalRetries == 0 {
+		return nil, errors.New("bench: fault sweep never retried a task; the injector is not firing")
+	}
+
+	// Permanent faults must exhaust the retry budget and surface a wrapped
+	// task error, not succeed and not panic.
+	db, err := faultDB(cfg, 0, fault.Config{Seed: cfg.FaultSeeds[0], PermanentProb: 1, RetryBackoff: -1})
+	if err != nil {
+		return nil, err
+	}
+	_, err = db.Query(spillSweepQuery)
+	if err == nil {
+		return nil, errors.New("bench: permanent-fault run succeeded; injector is not firing")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		return nil, fmt.Errorf("bench: permanent-fault error does not wrap fault.ErrInjected: %w", err)
+	}
+	var te *fault.TaskError
+	if !errors.As(err, &te) {
+		return nil, fmt.Errorf("bench: permanent-fault error carries no fault.TaskError: %w", err)
+	}
+	rep.PermanentErr = err
+	return rep, nil
+}
+
+// Format renders the sweep as a table.
+func (r *FaultReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-injection sweep: %d x %d-dim join rows, %d groups, %d nodes x %d partitions\n",
+		r.Cfg.Rows, r.Cfg.Dim, r.Cfg.Groups, r.Cfg.Nodes, r.Cfg.PerNode)
+	fmt.Fprintf(&b, "%-6s %-12s %12s %10s %10s %12s\n", "seed", "mode", "time", "faults", "retries", "speculative")
+	for _, row := range r.Rows {
+		mode := "in-memory"
+		if row.OutOfCore {
+			mode = "out-of-core"
+		}
+		fmt.Fprintf(&b, "%-6d %-12s %12s %10d %10d %12d\n",
+			row.Seed, mode, row.Elapsed.Round(time.Millisecond),
+			row.FaultsInjected, row.TaskRetries, row.SpeculativeLaunches)
+	}
+	b.WriteString("all transient-fault runs matched the fault-free baseline row-for-row\n")
+	fmt.Fprintf(&b, "permanent-fault run failed as required: %v\n", r.PermanentErr)
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultConfigValidate(t *testing.T) {
+	if err := DefaultFaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SmokeFaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultFaultConfig()
+	bad.Budget = 0
+	if bad.Validate() == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	bad = DefaultFaultConfig()
+	bad.FaultSeeds = []uint64{1, 2}
+	if bad.Validate() == nil {
+		t.Fatal("two seeds accepted; the gate needs at least three")
+	}
+	bad = DefaultFaultConfig()
+	bad.Rows = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestRunFaultSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep runs via verify.sh's labench -faults -smoke gate")
+	}
+	rep, err := RunFaultSweep(SmokeFaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 { // 3 seeds x {in-memory, out-of-core}
+		t.Fatalf("sweep rows = %d, want 6", len(rep.Rows))
+	}
+	if rep.PermanentErr == nil {
+		t.Fatal("no permanent-fault error recorded")
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "matched the fault-free baseline") {
+		t.Fatalf("report lacks the identity line:\n%s", out)
+	}
+}

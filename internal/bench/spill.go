@@ -94,34 +94,41 @@ func spillDB(cfg SpillConfig, budget int64) (*core.Database, error) {
 	dbcfg.Cluster.Nodes = cfg.Nodes
 	dbcfg.Cluster.PartitionsPerNode = cfg.PerNode
 	dbcfg.Cluster.MemoryBudgetBytes = budget
+	return loadSweepDB(dbcfg, cfg.Rows, cfg.Dim, cfg.Groups, cfg.Seed)
+}
+
+// loadSweepDB opens a database under the given cluster configuration and
+// loads the shared join+aggregate working set (tables l and r) into it. Both
+// the spill and fault sweeps run the same query over this data.
+func loadSweepDB(dbcfg core.Config, rows, dim, groups int, seed int64) (*core.Database, error) {
 	db := core.Open(dbcfg)
-	if err := db.Exec(fmt.Sprintf("CREATE TABLE l (id INTEGER, grp INTEGER, v VECTOR[%d])", cfg.Dim)); err != nil {
+	if err := db.Exec(fmt.Sprintf("CREATE TABLE l (id INTEGER, grp INTEGER, v VECTOR[%d])", dim)); err != nil {
 		return nil, err
 	}
-	if err := db.Exec(fmt.Sprintf("CREATE TABLE r (id INTEGER, v VECTOR[%d])", cfg.Dim)); err != nil {
+	if err := db.Exec(fmt.Sprintf("CREATE TABLE r (id INTEGER, v VECTOR[%d])", dim)); err != nil {
 		return nil, err
 	}
 	// Integer-valued entries keep the swept query's float sums exact, so
 	// result comparison across budgets is bit-for-bit, not approximate: the
 	// spilled plans group additions differently, which only matters if the
 	// additions round.
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(seed))
 	vec := func() value.Value {
-		entries := make([]float64, cfg.Dim)
+		entries := make([]float64, dim)
 		for i := range entries {
 			entries[i] = float64(rng.Intn(9) - 4)
 		}
 		return core.VectorValue(entries...)
 	}
-	ids := cfg.Rows / 4
+	ids := rows / 4
 	if ids == 0 {
 		ids = 1
 	}
-	lrows := make([]value.Row, cfg.Rows)
+	lrows := make([]value.Row, rows)
 	for i := range lrows {
-		lrows[i] = value.Row{value.Int(int64(i % ids)), value.Int(int64(i % cfg.Groups)), vec()}
+		lrows[i] = value.Row{value.Int(int64(i % ids)), value.Int(int64(i % groups)), vec()}
 	}
-	rrows := make([]value.Row, cfg.Rows/2)
+	rrows := make([]value.Row, rows/2)
 	for i := range rrows {
 		rrows[i] = value.Row{value.Int(int64(i % ids)), vec()}
 	}

@@ -9,6 +9,16 @@
 // The cluster also enforces an intermediate-tuple budget, the mechanism that
 // makes the paper's "Fail" entries reproducible: a plan that tries to
 // materialize a quadratic tuple blow-up exceeds the budget and aborts.
+//
+// Fault tolerance: with Config.Faults enabled, every partition task (a unit
+// of Parallel/ParallelTasks work, one exchange destination, one sort) runs
+// under a bounded-retry loop. Tasks are compute/commit pairs — compute reads
+// only its immutable input snapshot and returns a commit closure that
+// installs results and charges stats exactly once — so a transiently-failed
+// or speculatively-duplicated attempt can be discarded without trace, and a
+// fault-injected run converges to a result bit-identical to the fault-free
+// one. Permanent failures surface as fault.TaskError naming operator,
+// partition, and attempt.
 package cluster
 
 import (
@@ -19,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"relalg/internal/fault"
 	"relalg/internal/value"
 )
 
@@ -53,6 +64,10 @@ type Config struct {
 	// spill runs to temp files and continue out-of-core instead of aborting.
 	// 0 = unlimited: no governor, no spilling — the seed behaviour.
 	MemoryBudgetBytes int64
+	// Faults configures deterministic fault injection over partition tasks,
+	// exchanges, and spill writes. The zero value disables injection and
+	// retry entirely — the seed behaviour.
+	Faults fault.Config
 }
 
 // DefaultConfig mirrors the paper's 10-node, 8-core setup at simulation
@@ -86,37 +101,46 @@ func (c Config) KernelWorkers() int {
 // Stats aggregates movement and volume counters across a run. All fields are
 // updated atomically and safe to read concurrently.
 type Stats struct {
-	TuplesShuffled  atomic.Int64 // rows that crossed a partition boundary
-	BytesShuffled   atomic.Int64 // encoded bytes of those rows
-	TuplesProduced  atomic.Int64 // rows materialized by operators
-	ShuffleRounds   atomic.Int64 // number of exchange operations
-	BroadcastRounds atomic.Int64
-	SpillEvents     atomic.Int64 // spill runs written under memory pressure
-	BytesSpilled    atomic.Int64 // file bytes of those runs
+	TuplesShuffled      atomic.Int64 // rows that crossed a partition boundary
+	BytesShuffled       atomic.Int64 // encoded bytes of those rows
+	TuplesProduced      atomic.Int64 // rows materialized by operators
+	ShuffleRounds       atomic.Int64 // exchange operations that completed
+	BroadcastRounds     atomic.Int64
+	SpillEvents         atomic.Int64 // spill runs written under memory pressure
+	BytesSpilled        atomic.Int64 // file bytes of those runs
+	FaultsInjected      atomic.Int64 // faults the injector fired
+	TaskRetries         atomic.Int64 // partition-task re-executions after transient failure
+	SpeculativeLaunches atomic.Int64 // backup attempts launched against stragglers
 }
 
 // Snapshot returns a plain-struct copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		TuplesShuffled:  s.TuplesShuffled.Load(),
-		BytesShuffled:   s.BytesShuffled.Load(),
-		TuplesProduced:  s.TuplesProduced.Load(),
-		ShuffleRounds:   s.ShuffleRounds.Load(),
-		BroadcastRounds: s.BroadcastRounds.Load(),
-		SpillEvents:     s.SpillEvents.Load(),
-		BytesSpilled:    s.BytesSpilled.Load(),
+		TuplesShuffled:      s.TuplesShuffled.Load(),
+		BytesShuffled:       s.BytesShuffled.Load(),
+		TuplesProduced:      s.TuplesProduced.Load(),
+		ShuffleRounds:       s.ShuffleRounds.Load(),
+		BroadcastRounds:     s.BroadcastRounds.Load(),
+		SpillEvents:         s.SpillEvents.Load(),
+		BytesSpilled:        s.BytesSpilled.Load(),
+		FaultsInjected:      s.FaultsInjected.Load(),
+		TaskRetries:         s.TaskRetries.Load(),
+		SpeculativeLaunches: s.SpeculativeLaunches.Load(),
 	}
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
-	TuplesShuffled  int64
-	BytesShuffled   int64
-	TuplesProduced  int64
-	ShuffleRounds   int64
-	BroadcastRounds int64
-	SpillEvents     int64
-	BytesSpilled    int64
+	TuplesShuffled      int64
+	BytesShuffled       int64
+	TuplesProduced      int64
+	ShuffleRounds       int64
+	BroadcastRounds     int64
+	SpillEvents         int64
+	BytesSpilled        int64
+	FaultsInjected      int64
+	TaskRetries         int64
+	SpeculativeLaunches int64
 }
 
 func (s StatsSnapshot) String() string {
@@ -125,14 +149,19 @@ func (s StatsSnapshot) String() string {
 	if s.SpillEvents > 0 {
 		out += fmt.Sprintf(", spilled %d runs (%d bytes)", s.SpillEvents, s.BytesSpilled)
 	}
+	if s.FaultsInjected > 0 || s.TaskRetries > 0 || s.SpeculativeLaunches > 0 {
+		out += fmt.Sprintf(", injected %d faults (%d retries, %d speculative launches)",
+			s.FaultsInjected, s.TaskRetries, s.SpeculativeLaunches)
+	}
 	return out
 }
 
 // Cluster is one simulated cluster instance.
 type Cluster struct {
-	cfg   Config
-	stats Stats
-	used  atomic.Int64 // intermediate tuples charged so far
+	cfg      Config
+	stats    Stats
+	used     atomic.Int64 // intermediate tuples charged so far
+	injector *fault.Injector
 }
 
 // New creates a cluster from the config.
@@ -143,7 +172,7 @@ func New(cfg Config) *Cluster {
 	if cfg.PartitionsPerNode <= 0 {
 		cfg.PartitionsPerNode = 1
 	}
-	return &Cluster{cfg: cfg}
+	return &Cluster{cfg: cfg, injector: fault.New(cfg.Faults)}
 }
 
 // Config returns the cluster configuration.
@@ -160,7 +189,9 @@ func (c *Cluster) Stats() *Stats { return &c.stats }
 func (c *Cluster) ResetBudget() { c.used.Store(0) }
 
 // ChargeTuples records that n intermediate tuples were materialized; it
-// fails once the configured budget is exhausted.
+// fails once the configured budget is exhausted. Call it from a task's
+// commit, never its compute: a charge is irrevocable, so charging from a
+// retried or speculatively-duplicated attempt would double-count.
 func (c *Cluster) ChargeTuples(n int64) error {
 	c.stats.TuplesProduced.Add(n)
 	used := c.used.Add(n)
@@ -170,9 +201,81 @@ func (c *Cluster) ChargeTuples(n int64) error {
 	return nil
 }
 
+// CheckBudget reports whether charging extra more tuples would exceed the
+// intermediate-tuple budget, without charging anything. Task computes use it
+// to abort early; the definitive charge happens in their commit.
+func (c *Cluster) CheckBudget(extra int64) error {
+	if c.cfg.MaxIntermediateTuples <= 0 {
+		return nil
+	}
+	if used := c.used.Load() + extra; used > c.cfg.MaxIntermediateTuples {
+		return fmt.Errorf("%w: %d tuples exceeds budget %d", ErrResourceExhausted, used, c.cfg.MaxIntermediateTuples)
+	}
+	return nil
+}
+
+// SpillWriteFault is the spill write-failure injection point; the core wires
+// it into the spill manager's hooks so run writes fail transiently under
+// fault injection.
+func (c *Cluster) SpillWriteFault(label string, attempt int) error {
+	if err := c.injector.SpillWrite(label, attempt); err != nil {
+		c.stats.FaultsInjected.Add(1)
+		return err
+	}
+	return nil
+}
+
+// TaskObserver receives retry-related events from the task runner. The zero
+// value observes nothing.
+type TaskObserver struct {
+	// RetryWait is called with each computed backoff duration before a task
+	// re-executes (the "retry" timing entry). The duration is a deterministic
+	// function of the fault config, not a measurement.
+	RetryWait func(time.Duration)
+}
+
+// TaskFn is one partition task as a compute/commit pair. The compute phase
+// (the function body) must treat its inputs as an immutable snapshot and
+// write no shared state — it may run more than once, and two attempts may
+// run concurrently under speculation. On success it returns a commit closure
+// that installs results and charges stats; the runner invokes the commit of
+// exactly one winning attempt. A nil commit is allowed when there is nothing
+// to install.
+type TaskFn func(part, attempt int) (commit func() error, err error)
+
 // Parallel runs fn once per partition slot concurrently and returns the
-// first error.
+// combined error. Under fault injection the closures are retried on
+// transient failure but never speculated (they may write shared state);
+// closures must be idempotent per partition.
 func (c *Cluster) Parallel(fn func(part int) error) error {
+	return c.ParallelOp("parallel", fn)
+}
+
+// ParallelOp is Parallel with an operator name for fault-injection keying
+// and error attribution.
+func (c *Cluster) ParallelOp(op string, fn func(part int) error) error {
+	return c.parallelTasks(op, TaskObserver{}, false, func(part, _ int) (func() error, error) {
+		return nil, fn(part)
+	})
+}
+
+// ParallelTasks runs one compute/commit task per partition slot with bounded
+// retry and, when configured, speculative re-execution of stragglers.
+func (c *Cluster) ParallelTasks(op string, obs TaskObserver, fn TaskFn) error {
+	return c.parallelTasks(op, obs, true, fn)
+}
+
+// RunTask runs a single retryable task (partition 0) — the harness for
+// operators that execute once over gathered data, like the global sort. The
+// attempt number is passed through so per-attempt resources (spill runs) key
+// their fault draws correctly.
+func (c *Cluster) RunTask(op string, obs TaskObserver, fn func(attempt int) error) error {
+	return c.runTask(op, 0, obs, false, func(_, attempt int) (func() error, error) {
+		return nil, fn(attempt)
+	})
+}
+
+func (c *Cluster) parallelTasks(op string, obs TaskObserver, speculate bool, fn TaskFn) error {
 	p := c.Partitions()
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -180,11 +283,136 @@ func (c *Cluster) Parallel(fn func(part int) error) error {
 	for i := 0; i < p; i++ {
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = fn(i)
+			errs[i] = c.runTask(op, i, obs, speculate, fn)
 		}(i)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// runTask drives one partition task to completion: bounded attempts,
+// deterministic backoff between retries, crash/straggler injection, and
+// exactly-once commit of the winning attempt.
+func (c *Cluster) runTask(op string, part int, obs TaskObserver, speculate bool, fn TaskFn) error {
+	max := c.injector.Attempts()
+	var lastErr error
+	for attempt := 0; attempt < max; attempt++ {
+		if attempt > 0 {
+			c.stats.TaskRetries.Add(1)
+			if d := c.injector.Backoff(attempt); d > 0 {
+				if obs.RetryWait != nil {
+					obs.RetryWait(d)
+				}
+				time.Sleep(d)
+			}
+		}
+		commit, err := c.executeAttempt(op, part, attempt, speculate, fn)
+		if err == nil {
+			if commit != nil {
+				if cerr := commit(); cerr != nil {
+					return c.taskErr(op, part, attempt, cerr)
+				}
+			}
+			return nil
+		}
+		if !fault.Transient(err) {
+			return c.taskErr(op, part, attempt, err)
+		}
+		lastErr = err
+	}
+	return &fault.TaskError{Op: op, Part: part, Attempt: max - 1, Err: lastErr}
+}
+
+// taskErr wraps a task failure for attribution. A first-attempt failure that
+// was not injected passes through untouched: it is the same error the
+// fault-free cluster would have returned, and callers pin those messages.
+func (c *Cluster) taskErr(op string, part, attempt int, err error) error {
+	if attempt == 0 && !errors.Is(err, fault.ErrInjected) {
+		return err
+	}
+	return &fault.TaskError{Op: op, Part: part, Attempt: attempt, Err: err}
+}
+
+// executeAttempt runs one attempt of a task: crash draw, straggler delay
+// (optionally racing a speculative backup), then the compute itself.
+func (c *Cluster) executeAttempt(op string, part, attempt int, speculate bool, fn TaskFn) (func() error, error) {
+	if err := c.injector.Crash(op, part, attempt); err != nil {
+		c.stats.FaultsInjected.Add(1)
+		return nil, err
+	}
+	if delay := c.injector.Straggle(op, part, attempt); delay > 0 {
+		c.stats.FaultsInjected.Add(1)
+		if speculate && c.injector.Speculate() && attempt+1 < c.injector.Attempts() {
+			return c.speculateAttempt(op, part, attempt, delay, fn)
+		}
+		time.Sleep(delay)
+	}
+	return fn(part, attempt)
+}
+
+// errSpeculationLost marks a straggler attempt cancelled because its backup
+// already won; it never escapes the speculation racer.
+var errSpeculationLost = errors.New("cluster: speculation lost")
+
+// speculateAttempt races a straggling attempt against a backup attempt with
+// the next attempt id. Both compute from the same immutable snapshot, so
+// either result is correct; the winner is chosen deterministically as the
+// successful attempt with the lowest id once both goroutines have finished
+// (the racer always joins both — a cancelled straggler wakes immediately).
+func (c *Cluster) speculateAttempt(op string, part, attempt int, delay time.Duration, fn TaskFn) (func() error, error) {
+	c.stats.SpeculativeLaunches.Add(1)
+	type attemptResult struct {
+		attempt int
+		commit  func() error
+		err     error
+	}
+	cancel := make(chan struct{})
+	results := make(chan attemptResult, 2)
+	// Straggler: serve the injected delay (interruptibly), then compute.
+	go func() {
+		select {
+		case <-time.After(delay):
+		case <-cancel:
+			results <- attemptResult{attempt: attempt, err: errSpeculationLost}
+			return
+		}
+		commit, err := fn(part, attempt)
+		results <- attemptResult{attempt, commit, err}
+	}()
+	// Backup: a fresh attempt with its own crash draw.
+	go func() {
+		if err := c.injector.Crash(op, part, attempt+1); err != nil {
+			c.stats.FaultsInjected.Add(1)
+			results <- attemptResult{attempt: attempt + 1, err: err}
+			return
+		}
+		commit, err := fn(part, attempt+1)
+		results <- attemptResult{attempt + 1, commit, err}
+	}()
+	first := <-results
+	if first.err == nil {
+		close(cancel)
+	}
+	second := <-results
+	lo, hi := first, second
+	if lo.attempt > hi.attempt {
+		lo, hi = hi, lo
+	}
+	if lo.err == nil {
+		return lo.commit, nil
+	}
+	if hi.err == nil {
+		return hi.commit, nil
+	}
+	// Both failed. Report the straggler's own failure when it has one; a
+	// lost-cancellation only happens when the other attempt succeeded.
+	if errors.Is(hi.err, errSpeculationLost) {
+		return nil, lo.err
+	}
+	if errors.Is(lo.err, errSpeculationLost) {
+		return nil, hi.err
+	}
+	return nil, lo.err
 }
 
 // ScatterRoundRobin distributes rows across partitions round-robin (how
@@ -229,8 +457,13 @@ func (c *Cluster) Gather(parts [][]value.Row) []value.Row {
 // partition than they started on are charged as network traffic and, when
 // SerializeShuffles is set, are round-tripped through the binary codec.
 func (c *Cluster) Shuffle(parts [][]value.Row, keyCols []int) ([][]value.Row, error) {
+	return c.ShuffleObs(TaskObserver{}, parts, keyCols)
+}
+
+// ShuffleObs is Shuffle with a retry observer for the exchange's delivery
+// tasks.
+func (c *Cluster) ShuffleObs(obs TaskObserver, parts [][]value.Row, keyCols []int) ([][]value.Row, error) {
 	p := c.Partitions()
-	c.stats.ShuffleRounds.Add(1)
 	// buckets[src][dst]
 	buckets := make([][][]value.Row, len(parts))
 	err := c.parallelOver(len(parts), func(src int) error {
@@ -245,13 +478,18 @@ func (c *Cluster) Shuffle(parts [][]value.Row, keyCols []int) ([][]value.Row, er
 	if err != nil {
 		return nil, err
 	}
-	return c.deliver(buckets)
+	return c.deliver("shuffle", obs, buckets)
 }
 
 // ShuffleBy repartitions rows using an arbitrary destination function.
 func (c *Cluster) ShuffleBy(parts [][]value.Row, dest func(value.Row) int) ([][]value.Row, error) {
+	return c.ShuffleByObs(TaskObserver{}, parts, dest)
+}
+
+// ShuffleByObs is ShuffleBy with a retry observer for the exchange's
+// delivery tasks.
+func (c *Cluster) ShuffleByObs(obs TaskObserver, parts [][]value.Row, dest func(value.Row) int) ([][]value.Row, error) {
 	p := c.Partitions()
-	c.stats.ShuffleRounds.Add(1)
 	buckets := make([][][]value.Row, len(parts))
 	err := c.parallelOver(len(parts), func(src int) error {
 		local := make([][]value.Row, p)
@@ -268,36 +506,106 @@ func (c *Cluster) ShuffleBy(parts [][]value.Row, dest func(value.Row) int) ([][]
 	if err != nil {
 		return nil, err
 	}
-	return c.deliver(buckets)
+	return c.deliver("shuffle", obs, buckets)
 }
 
-// deliver moves bucketed rows to their destinations, charging and optionally
-// serializing everything that crosses a partition boundary.
-func (c *Cluster) deliver(buckets [][][]value.Row) ([][]value.Row, error) {
+// deliver moves bucketed rows to their destinations. Each destination is one
+// retryable task: its compute decodes incoming chunks from the immutable
+// buckets snapshot and tallies traffic locally; its commit charges the stats
+// and installs the rows, so a retried or aborted exchange charges nothing.
+// ShuffleRounds counts completed exchanges only.
+func (c *Cluster) deliver(op string, obs TaskObserver, buckets [][][]value.Row) ([][]value.Row, error) {
 	p := c.Partitions()
 	out := make([][]value.Row, p)
-	var moveErr error
-	var mu sync.Mutex
-	err := c.parallelOver(p, func(dst int) error {
+	err := c.ParallelTasks(op, obs, func(dst, attempt int) (func() error, error) {
+		if err := c.injector.ShuffleCorrupt(op, dst, attempt); err != nil {
+			c.stats.FaultsInjected.Add(1)
+			return nil, err
+		}
 		var rows []value.Row
-		var wireBytes int64
+		var tuples, wireBytes int64
 		for src := range buckets {
 			chunk := buckets[src][dst]
 			if len(chunk) == 0 {
 				continue
 			}
 			if src != dst {
-				c.stats.TuplesShuffled.Add(int64(len(chunk)))
+				tuples += int64(len(chunk))
 				if c.cfg.SerializeShuffles {
 					buf := value.EncodeRows(chunk)
-					c.stats.BytesShuffled.Add(int64(len(buf)))
 					wireBytes += int64(len(buf))
 					decoded, err := value.DecodeRows(buf)
 					if err != nil {
-						mu.Lock()
-						moveErr = err
-						mu.Unlock()
-						return err
+						return nil, err
+					}
+					chunk = decoded
+				} else {
+					for _, r := range chunk {
+						wireBytes += int64(r.SizeBytes())
+					}
+				}
+			}
+			rows = append(rows, chunk...)
+		}
+		return func() error {
+			c.stats.TuplesShuffled.Add(tuples)
+			c.stats.BytesShuffled.Add(wireBytes)
+			c.networkWait(wireBytes)
+			out[dst] = rows
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.stats.ShuffleRounds.Add(1)
+	return out, nil
+}
+
+// Broadcast replicates every row to every partition (used for the small side
+// of a cross join). Only the p-1 remote copies of each row are charged as
+// network traffic: the destination's own rows stay in place, matching
+// deliver's accounting. Each destination is one retryable task;
+// BroadcastRounds counts completed broadcasts only.
+func (c *Cluster) Broadcast(parts [][]value.Row) ([][]value.Row, error) {
+	return c.BroadcastObs(TaskObserver{}, parts)
+}
+
+// BroadcastObs is Broadcast with a retry observer for the per-destination
+// tasks.
+func (c *Cluster) BroadcastObs(obs TaskObserver, parts [][]value.Row) ([][]value.Row, error) {
+	p := c.Partitions()
+	// Encode each source partition once; every destination decodes the
+	// remote chunks independently (the codec round-trip is the ser-de cost
+	// of its private copy).
+	bufs := make([][]byte, len(parts))
+	if c.cfg.SerializeShuffles {
+		for src := range parts {
+			if len(parts[src]) > 0 {
+				bufs[src] = value.EncodeRows(parts[src])
+			}
+		}
+	}
+	out := make([][]value.Row, p)
+	err := c.ParallelTasks("broadcast", obs, func(dst, attempt int) (func() error, error) {
+		if err := c.injector.ShuffleCorrupt("broadcast", dst, attempt); err != nil {
+			c.stats.FaultsInjected.Add(1)
+			return nil, err
+		}
+		var rows []value.Row
+		var tuples, wireBytes int64
+		for src := range parts {
+			chunk := parts[src]
+			if len(chunk) == 0 {
+				continue
+			}
+			if src != dst {
+				tuples += int64(len(chunk))
+				if c.cfg.SerializeShuffles {
+					wireBytes += int64(len(bufs[src]))
+					decoded, err := value.DecodeRows(bufs[src])
+					if err != nil {
+						return nil, err
 					}
 					chunk = decoded
 				} else {
@@ -305,63 +613,31 @@ func (c *Cluster) deliver(buckets [][][]value.Row) ([][]value.Row, error) {
 					for _, r := range chunk {
 						n += int64(r.SizeBytes())
 					}
-					c.stats.BytesShuffled.Add(n)
 					wireBytes += n
+					// Without a codec round-trip every destination would
+					// alias the same vector/matrix backing arrays — deep-copy
+					// so re-executed tasks cannot observe shared mutations.
+					cp := make([]value.Row, len(chunk))
+					for i, r := range chunk {
+						cp[i] = r.DeepClone()
+					}
+					chunk = cp
 				}
 			}
 			rows = append(rows, chunk...)
 		}
-		c.networkWait(wireBytes)
-		out[dst] = rows
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	if moveErr != nil {
-		return nil, moveErr
-	}
-	return out, nil
-}
-
-// Broadcast replicates every row to every partition (used for the small side
-// of a cross join). The copies are charged as network traffic.
-func (c *Cluster) Broadcast(parts [][]value.Row) ([][]value.Row, error) {
-	p := c.Partitions()
-	c.stats.BroadcastRounds.Add(1)
-	all := c.Gather(parts)
-	var buf []byte
-	if c.cfg.SerializeShuffles {
-		buf = value.EncodeRows(all)
-	}
-	out := make([][]value.Row, p)
-	err := c.parallelOver(p, func(dst int) error {
-		// p-1 remote copies; the local partition keeps its rows in place.
-		c.stats.TuplesShuffled.Add(int64(len(all)))
-		if c.cfg.SerializeShuffles {
-			c.stats.BytesShuffled.Add(int64(len(buf)))
-			c.networkWait(int64(len(buf)))
-			rows, err := value.DecodeRows(buf)
-			if err != nil {
-				return err
-			}
+		return func() error {
+			c.stats.TuplesShuffled.Add(tuples)
+			c.stats.BytesShuffled.Add(wireBytes)
+			c.networkWait(wireBytes)
 			out[dst] = rows
 			return nil
-		}
-		var n int64
-		for _, r := range all {
-			n += int64(r.SizeBytes())
-		}
-		c.stats.BytesShuffled.Add(n)
-		c.networkWait(n)
-		cp := make([]value.Row, len(all))
-		copy(cp, all)
-		out[dst] = cp
-		return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	c.stats.BroadcastRounds.Add(1)
 	return out, nil
 }
 

@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relalg/internal/fault"
+	"relalg/internal/linalg"
+	"relalg/internal/value"
+)
+
+// expectedShuffleAccounting replays the cluster's own accounting rules over a
+// round-robin layout: tuples and wire bytes for every (src, dst) chunk whose
+// source partition differs from its destination.
+func expectedShuffleAccounting(c *Cluster, parts [][]value.Row, keyCols []int) (tuples, bytes int64) {
+	p := c.Partitions()
+	for src := range parts {
+		chunks := make([][]value.Row, p)
+		for _, r := range parts[src] {
+			d := int(value.HashRowKey(r, keyCols) % uint64(p))
+			chunks[d] = append(chunks[d], r)
+		}
+		for dst, chunk := range chunks {
+			if dst == src || len(chunk) == 0 {
+				continue
+			}
+			tuples += int64(len(chunk))
+			if c.Config().SerializeShuffles {
+				bytes += int64(len(value.EncodeRows(chunk)))
+			} else {
+				for _, r := range chunk {
+					bytes += int64(r.SizeBytes())
+				}
+			}
+		}
+	}
+	return tuples, bytes
+}
+
+// TestShuffleAccountingPinned pins the exact shuffle tuple/byte counters for
+// a known row layout at several partition counts, serialized and not.
+func TestShuffleAccountingPinned(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, perNode int
+		serialize      bool
+	}{
+		{1, 1, true}, {2, 1, true}, {2, 2, true}, {3, 2, true}, {5, 2, true},
+		{2, 2, false}, {3, 1, false},
+	} {
+		c := testCluster(tc.nodes, tc.perNode, tc.serialize)
+		rows := intRows(137)
+		parts := c.ScatterRoundRobin(rows)
+		wantTuples, wantBytes := expectedShuffleAccounting(c, parts, []int{1})
+		if _, err := c.Shuffle(parts, []int{1}); err != nil {
+			t.Fatal(err)
+		}
+		s := c.Stats().Snapshot()
+		if s.TuplesShuffled != wantTuples {
+			t.Errorf("%d×%d serialize=%v: TuplesShuffled = %d, want %d",
+				tc.nodes, tc.perNode, tc.serialize, s.TuplesShuffled, wantTuples)
+		}
+		if s.BytesShuffled != wantBytes {
+			t.Errorf("%d×%d serialize=%v: BytesShuffled = %d, want %d",
+				tc.nodes, tc.perNode, tc.serialize, s.BytesShuffled, wantBytes)
+		}
+		if s.ShuffleRounds != 1 {
+			t.Errorf("ShuffleRounds = %d, want 1", s.ShuffleRounds)
+		}
+	}
+}
+
+// TestBroadcastAccountingPinned pins broadcast accounting: each destination
+// is charged only for rows whose source partition differs from it — p-1
+// remote copies of every row in total, never the destination's own rows.
+func TestBroadcastAccountingPinned(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, perNode int
+		serialize      bool
+		rows           int
+	}{
+		{2, 2, true, 10}, {3, 1, true, 17}, {5, 2, true, 41},
+		{2, 2, false, 10}, {4, 1, false, 23},
+	} {
+		c := testCluster(tc.nodes, tc.perNode, tc.serialize)
+		p := c.Partitions()
+		rows := intRows(tc.rows)
+		parts := c.ScatterRoundRobin(rows)
+
+		// Expected: every destination receives all rows except its own.
+		wantTuples := int64(p-1) * int64(len(rows))
+		var wantBytes int64
+		for src := range parts {
+			if len(parts[src]) == 0 {
+				continue
+			}
+			var per int64
+			if tc.serialize {
+				per = int64(len(value.EncodeRows(parts[src])))
+			} else {
+				for _, r := range parts[src] {
+					per += int64(r.SizeBytes())
+				}
+			}
+			wantBytes += per * int64(p-1)
+		}
+
+		bc, err := c.Broadcast(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dst, got := range bc {
+			if len(got) != len(rows) {
+				t.Fatalf("partition %d has %d rows, want %d", dst, len(got), len(rows))
+			}
+		}
+		s := c.Stats().Snapshot()
+		if s.TuplesShuffled != wantTuples {
+			t.Errorf("%d×%d serialize=%v: broadcast TuplesShuffled = %d, want %d",
+				tc.nodes, tc.perNode, tc.serialize, s.TuplesShuffled, wantTuples)
+		}
+		if s.BytesShuffled != wantBytes {
+			t.Errorf("%d×%d serialize=%v: broadcast BytesShuffled = %d, want %d",
+				tc.nodes, tc.perNode, tc.serialize, s.BytesShuffled, wantBytes)
+		}
+		if s.BroadcastRounds != 1 {
+			t.Errorf("BroadcastRounds = %d, want 1", s.BroadcastRounds)
+		}
+	}
+}
+
+// TestRoundsCountCompletedExchangesOnly asserts the satellite bugfix: an
+// exchange that fails (here: permanently crashed delivery tasks) must not
+// count as a completed round.
+func TestRoundsCountCompletedExchangesOnly(t *testing.T) {
+	cfg := Config{Nodes: 2, PartitionsPerNode: 2, SerializeShuffles: true,
+		Faults: fault.Config{Seed: 3, PermanentProb: 1, RetryBackoff: -1}}
+	c := New(cfg)
+	parts := c.ScatterRoundRobin(intRows(40))
+	if _, err := c.Shuffle(parts, []int{1}); err == nil {
+		t.Fatal("shuffle under permanent faults should fail")
+	}
+	if _, err := c.Broadcast(parts); err == nil {
+		t.Fatal("broadcast under permanent faults should fail")
+	}
+	s := c.Stats().Snapshot()
+	if s.ShuffleRounds != 0 || s.BroadcastRounds != 0 {
+		t.Fatalf("aborted exchanges counted as rounds: shuffle=%d broadcast=%d",
+			s.ShuffleRounds, s.BroadcastRounds)
+	}
+	if s.TuplesShuffled != 0 || s.BytesShuffled != 0 {
+		t.Fatalf("aborted exchanges charged traffic: tuples=%d bytes=%d",
+			s.TuplesShuffled, s.BytesShuffled)
+	}
+}
+
+// TestBroadcastDeepCopiesRemoteRows asserts the aliasing satellite: in
+// non-serialized mode a destination's remote copies must not share vector
+// backing storage with the source rows or with other destinations.
+func TestBroadcastDeepCopiesRemoteRows(t *testing.T) {
+	c := testCluster(2, 2, false)
+	vec := value.Vector(linalg.VectorOf(1, 2, 3))
+	src := []value.Row{{value.Int(0), vec}}
+	parts := make([][]value.Row, c.Partitions())
+	parts[0] = src
+	bc, err := c.Broadcast(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 1 received a remote copy; scribble on its vector.
+	bc[1][0][1].Vec.Data[0] = 99
+	if got := src[0][1].Vec.Data[0]; got != 1 {
+		t.Fatalf("source row mutated through partition 1's copy: %v", got)
+	}
+	if got := bc[2][0][1].Vec.Data[0]; got != 1 {
+		t.Fatalf("partition 2 shares backing data with partition 1: %v", got)
+	}
+	if got := bc[0][0][1].Vec.Data[0]; got != 1 {
+		t.Fatalf("partition 0 (local) mutated through partition 1's copy: %v", got)
+	}
+}
+
+// TestParallelRetriesTransientCrashes: with transient crashes at every
+// partition, Parallel still succeeds (the final attempt is always clean) and
+// the retry counters move.
+func TestParallelRetriesTransientCrashes(t *testing.T) {
+	cfg := Config{Nodes: 2, PartitionsPerNode: 2,
+		Faults: fault.Config{Seed: 11, CrashProb: 1, MaxAttempts: 3, RetryBackoff: time.Microsecond}}
+	c := New(cfg)
+	var runs atomic.Int64
+	seen := make([]atomic.Int64, c.Partitions())
+	err := c.Parallel(func(p int) error {
+		runs.Add(1)
+		seen[p].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transient-only faults must converge: %v", err)
+	}
+	for p := range seen {
+		if seen[p].Load() == 0 {
+			t.Fatalf("partition %d never ran", p)
+		}
+	}
+	s := c.Stats().Snapshot()
+	if s.TaskRetries == 0 {
+		t.Fatal("no retries counted under CrashProb=1")
+	}
+	if s.FaultsInjected == 0 {
+		t.Fatal("no faults counted under CrashProb=1")
+	}
+	if runs.Load() != int64(c.Partitions()) {
+		// Crash faults fire before fn runs, so each partition's fn executes
+		// exactly once — on its clean final attempt.
+		t.Fatalf("fn ran %d times, want %d", runs.Load(), c.Partitions())
+	}
+}
+
+// TestParallelTasksCommitExactlyOnce: under heavy transient faults plus
+// speculation, each partition's commit runs exactly once and results are
+// identical to a fault-free run.
+func TestParallelTasksCommitExactlyOnce(t *testing.T) {
+	cfg := Config{Nodes: 2, PartitionsPerNode: 2,
+		Faults: fault.Config{Seed: 5, CrashProb: 0.5, StragglerProb: 1, Speculate: true,
+			StragglerDelay: 100 * time.Microsecond, MaxAttempts: 4, RetryBackoff: time.Microsecond}}
+	c := New(cfg)
+	commits := make([]atomic.Int64, c.Partitions())
+	out := make([]int, c.Partitions())
+	err := c.ParallelTasks("square", TaskObserver{}, func(part, attempt int) (func() error, error) {
+		v := part * part
+		return func() error {
+			commits[part].Add(1)
+			out[part] = v
+			return nil
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range commits {
+		if got := commits[p].Load(); got != 1 {
+			t.Fatalf("partition %d committed %d times, want exactly 1", p, got)
+		}
+		if out[p] != p*p {
+			t.Fatalf("partition %d result %d, want %d", p, out[p], p*p)
+		}
+	}
+	if c.Stats().Snapshot().SpeculativeLaunches == 0 {
+		t.Fatal("no speculative launches counted under StragglerProb=1 + Speculate")
+	}
+}
+
+// TestPermanentFaultSurfacesTaskError: permanent crashes exhaust retries and
+// surface a wrapped TaskError naming operator, partition, and attempt.
+func TestPermanentFaultSurfacesTaskError(t *testing.T) {
+	cfg := Config{Nodes: 1, PartitionsPerNode: 2,
+		Faults: fault.Config{Seed: 2, PermanentProb: 1, RetryBackoff: -1}}
+	c := New(cfg)
+	err := c.ParallelOp("hash join", func(p int) error { return nil })
+	if err == nil {
+		t.Fatal("permanent faults must fail the operation")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error does not match fault.ErrInjected: %v", err)
+	}
+	var te *fault.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error does not carry a fault.TaskError: %v", err)
+	}
+	if te.Op != "hash join" {
+		t.Errorf("TaskError.Op = %q", te.Op)
+	}
+	if !strings.Contains(err.Error(), "hash join") || !strings.Contains(err.Error(), "attempt 0") {
+		t.Errorf("message does not name operator and attempt: %q", err.Error())
+	}
+}
+
+// TestShuffleUnderTransientFaultsIsIdentical: at several seeds, a shuffle
+// with transient ser-de faults produces partition-for-partition identical
+// rows to the fault-free shuffle, with retries observed.
+func TestShuffleUnderTransientFaultsIsIdentical(t *testing.T) {
+	for _, serialize := range []bool{true, false} {
+		base := testCluster(3, 2, serialize)
+		rows := intRows(200)
+		want, err := base.Shuffle(base.ScatterRoundRobin(rows), []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sawRetry bool
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := Config{Nodes: 3, PartitionsPerNode: 2, SerializeShuffles: serialize,
+				Faults: fault.Config{Seed: seed, ShuffleProb: 1, CrashProb: 0.3,
+					MaxAttempts: 3, RetryBackoff: time.Microsecond}}
+			fc := New(cfg)
+			got, err := fc.Shuffle(fc.ScatterRoundRobin(rows), []int{1})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d serialize=%v: faulted shuffle diverged from fault-free baseline", seed, serialize)
+			}
+			if fc.Stats().Snapshot().TaskRetries > 0 {
+				sawRetry = true
+			}
+		}
+		if !sawRetry {
+			t.Fatal("no retries observed across seeds with ShuffleProb=1")
+		}
+	}
+}
+
+// TestRetryObserverReceivesBackoff: the TaskObserver sees the deterministic
+// backoff waits that precede re-executions.
+func TestRetryObserverReceivesBackoff(t *testing.T) {
+	cfg := Config{Nodes: 1, PartitionsPerNode: 2,
+		Faults: fault.Config{Seed: 1, CrashProb: 1, MaxAttempts: 3, RetryBackoff: time.Microsecond}}
+	c := New(cfg)
+	var waited atomic.Int64
+	obs := TaskObserver{RetryWait: func(d time.Duration) { waited.Add(int64(d)) }}
+	err := c.ParallelTasks("op", obs, func(part, attempt int) (func() error, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited.Load() == 0 {
+		t.Fatal("observer saw no backoff despite guaranteed retries")
+	}
+}
+
+// TestCheckBudgetPeeksWithoutCharging: CheckBudget reports exhaustion but
+// never consumes budget or moves counters.
+func TestCheckBudgetPeeksWithoutCharging(t *testing.T) {
+	c := New(Config{Nodes: 1, PartitionsPerNode: 1, MaxIntermediateTuples: 100})
+	if err := c.ChargeTuples(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckBudget(10); err != nil {
+		t.Fatalf("CheckBudget(10) at 90/100 = %v", err)
+	}
+	if err := c.CheckBudget(11); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("CheckBudget(11) = %v, want ErrResourceExhausted", err)
+	}
+	// The peek charged nothing: a real charge of 10 still fits.
+	if err := c.ChargeTuples(10); err != nil {
+		t.Fatalf("charge after peek failed: %v", err)
+	}
+	if got := c.Stats().Snapshot().TuplesProduced; got != 100 {
+		t.Fatalf("TuplesProduced = %d, want 100 (peeks must not count)", got)
+	}
+}

@@ -499,7 +499,8 @@ func (db *Database) query(sel *sqlparse.Select) (res *Result, err error) {
 			stats.SpillEvents.Add(1)
 			stats.BytesSpilled.Add(bytes)
 		},
-		TrackIO: func() func() { return timings.Track("spill") },
+		TrackIO:    func() func() { return timings.Track("spill") },
+		WriteFault: db.cl.SpillWriteFault,
 	})
 	defer func() {
 		if cerr := mgr.Close(); cerr != nil && err == nil {
@@ -533,8 +534,11 @@ func (db *Database) query(sel *sqlparse.Select) (res *Result, err error) {
 			TuplesProduced:  after.TuplesProduced - before.TuplesProduced,
 			ShuffleRounds:   after.ShuffleRounds - before.ShuffleRounds,
 			BroadcastRounds: after.BroadcastRounds - before.BroadcastRounds,
-			SpillEvents:     after.SpillEvents - before.SpillEvents,
-			BytesSpilled:    after.BytesSpilled - before.BytesSpilled,
+			SpillEvents:         after.SpillEvents - before.SpillEvents,
+			BytesSpilled:        after.BytesSpilled - before.BytesSpilled,
+			FaultsInjected:      after.FaultsInjected - before.FaultsInjected,
+			TaskRetries:         after.TaskRetries - before.TaskRetries,
+			SpeculativeLaunches: after.SpeculativeLaunches - before.SpeculativeLaunches,
 		},
 	}, nil
 }

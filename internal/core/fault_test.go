@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"relalg/internal/fault"
+)
+
+// faultSpillDB is spillTestDB plus an injector configuration: the same join +
+// aggregate working set, executed under deterministic injected faults.
+func faultSpillDB(t *testing.T, budget int64, faults fault.Config) *Database {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = 2
+	cfg.Cluster.PartitionsPerNode = 2
+	cfg.Cluster.MemoryBudgetBytes = budget
+	cfg.Cluster.Faults = faults
+	db := Open(cfg)
+	loadSpillTables(t, db)
+	return db
+}
+
+// transientFaults is the kitchen-sink transient configuration used by the
+// property tests: every fault kind armed, retries bounded, speculation on.
+func transientFaults(seed uint64) fault.Config {
+	return fault.Config{
+		Seed:           seed,
+		MaxAttempts:    3,
+		RetryBackoff:   time.Microsecond,
+		CrashProb:      0.5,
+		ShuffleProb:    0.5,
+		SpillProb:      0.5,
+		StragglerProb:  0.3,
+		StragglerDelay: 200 * time.Microsecond,
+		Speculate:      true,
+	}
+}
+
+// TestTransientFaultsPreserveResults is the tentpole's acceptance property:
+// at every seed, a run with transient-only faults produces results
+// row-for-row identical to the fault-free baseline, and the fault counters
+// prove the faults actually fired.
+func TestTransientFaultsPreserveResults(t *testing.T) {
+	baseline := mustQuery(t, spillTestDB(t, 0, 0), spillQuery)
+	if len(baseline.Rows) != 10 {
+		t.Fatalf("baseline groups = %d, want 10", len(baseline.Rows))
+	}
+
+	var sawRetry bool
+	for seed := uint64(1); seed <= 3; seed++ {
+		db := faultSpillDB(t, 0, transientFaults(seed))
+		res := mustQuery(t, db, spillQuery)
+		if len(res.Rows) != len(baseline.Rows) {
+			t.Fatalf("seed %d: rows = %d, want %d", seed, len(res.Rows), len(baseline.Rows))
+		}
+		for i := range res.Rows {
+			for j := range res.Rows[i] {
+				if !res.Rows[i][j].Equal(baseline.Rows[i][j]) {
+					t.Fatalf("seed %d: row %d col %d: faulted %v != baseline %v",
+						seed, i, j, res.Rows[i][j], baseline.Rows[i][j])
+				}
+			}
+		}
+		if res.Stats.FaultsInjected == 0 {
+			t.Fatalf("seed %d: no faults injected despite armed config", seed)
+		}
+		if res.Stats.TaskRetries > 0 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no task retries observed across any seed")
+	}
+}
+
+// TestTransientFaultsPreserveOutOfCoreResults runs the same property with a
+// memory budget small enough to force spilling, so retried tasks re-execute
+// through the external join/aggregation paths — including injected spill
+// write failures.
+func TestTransientFaultsPreserveOutOfCoreResults(t *testing.T) {
+	baseline := mustQuery(t, spillTestDB(t, 0, 0), spillQuery)
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := transientFaults(seed)
+		cfg.SpillProb = 1 // every spill write's first attempts fail
+		db := faultSpillDB(t, 8<<10, cfg)
+		res := mustQuery(t, db, spillQuery)
+		if len(res.Rows) != len(baseline.Rows) {
+			t.Fatalf("seed %d: rows = %d, want %d", seed, len(res.Rows), len(baseline.Rows))
+		}
+		for i := range res.Rows {
+			for j := range res.Rows[i] {
+				if !res.Rows[i][j].Equal(baseline.Rows[i][j]) {
+					t.Fatalf("seed %d: row %d col %d: faulted %v != baseline %v",
+						seed, i, j, res.Rows[i][j], baseline.Rows[i][j])
+				}
+			}
+		}
+		if res.Stats.SpillEvents == 0 {
+			t.Fatalf("seed %d: budgeted faulted run never spilled", seed)
+		}
+		if res.Stats.TaskRetries == 0 {
+			t.Fatalf("seed %d: SpillProb=1 run reported no retries", seed)
+		}
+	}
+}
+
+// TestPermanentFaultSurfacesWrappedError: a permanent fault exhausts the
+// retry budget and the query fails with an error that names the failing
+// task and matches both fault.ErrInjected and *fault.TaskError.
+func TestPermanentFaultSurfacesWrappedError(t *testing.T) {
+	db := faultSpillDB(t, 0, fault.Config{Seed: 9, PermanentProb: 1, RetryBackoff: -1})
+	_, err := db.Query(spillQuery)
+	if err == nil {
+		t.Fatal("query under permanent faults succeeded")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error does not match fault.ErrInjected: %v", err)
+	}
+	var te *fault.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error does not carry a fault.TaskError: %v", err)
+	}
+	if te.Op == "" {
+		t.Fatalf("TaskError does not name an operator: %+v", te)
+	}
+}
+
+// TestFaultStatsString: the fault counters render in the stats snapshot only
+// when faults actually fired, keeping fault-free output unchanged.
+func TestFaultStatsString(t *testing.T) {
+	res := mustQuery(t, spillTestDB(t, 0, 0), spillQuery)
+	if s := res.Stats.String(); containsWord(s, "fault") {
+		t.Fatalf("fault-free stats string mentions faults: %q", s)
+	}
+	res = mustQuery(t, faultSpillDB(t, 0, transientFaults(1)), spillQuery)
+	if s := res.Stats.String(); !containsWord(s, "fault") {
+		t.Fatalf("faulted stats string lacks fault counters: %q", s)
+	}
+}
+
+func containsWord(s, w string) bool {
+	for i := 0; i+len(w) <= len(s); i++ {
+		if s[i:i+len(w)] == w {
+			return true
+		}
+	}
+	return false
+}

@@ -24,7 +24,14 @@ func spillTestDB(t *testing.T, budget int64, maxTuples int64) *Database {
 	cfg.Cluster.MemoryBudgetBytes = budget
 	cfg.Cluster.MaxIntermediateTuples = maxTuples
 	db := Open(cfg)
+	loadSpillTables(t, db)
+	return db
+}
 
+// loadSpillTables creates and fills the l/r join tables shared by the spill
+// and fault test suites.
+func loadSpillTables(t *testing.T, db *Database) {
+	t.Helper()
 	db.MustExec("CREATE TABLE l (id INTEGER, grp INTEGER, v VECTOR[8])")
 	db.MustExec("CREATE TABLE r (id INTEGER, v VECTOR[8])")
 	// Integer-valued entries keep inner_product sums exact, so the spilled
@@ -52,7 +59,6 @@ func spillTestDB(t *testing.T, budget int64, maxTuples int64) *Database {
 	if err := db.LoadTable("r", rrows); err != nil {
 		t.Fatal(err)
 	}
-	return db
 }
 
 const spillQuery = `SELECT l.grp, COUNT(*) AS n, SUM(inner_product(l.v, r.v)) AS s

@@ -33,14 +33,16 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	// aggregated recursively — see partAgg).
 	stopLocal := ctx.Timings.Track("aggregate")
 	locals := make([]map[uint64][]*aggGroup, len(in.Parts))
-	err = ctx.Cluster.Parallel(func(part int) error {
-		pa := &partAgg{ctx: ctx, a: a, part: part}
+	err = ctx.Cluster.ParallelTasks("aggregate", taskObs(ctx), func(part, attempt int) (func() error, error) {
+		pa := &partAgg{ctx: ctx, a: a, part: part, attempt: attempt}
 		groups, err := pa.aggregate(in.Parts[part])
 		if err != nil {
-			return err
+			return nil, err
 		}
-		locals[part] = groups
-		return nil
+		return func() error {
+			locals[part] = groups
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -114,7 +116,9 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	// downstream shuffles and result files) identical across runs.
 	stopFinal := ctx.Timings.Track("aggregate")
 	out := make([][]value.Row, p)
-	err = ctx.Cluster.Parallel(func(part int) error {
+	// Finalization is retry-safe: Final is a pure read of the merged states,
+	// so a re-executed (or speculated) attempt produces the same rows.
+	err = ctx.Cluster.ParallelTasks("aggregate", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var rows []value.Row
 		for _, h := range sortedHashes(merged[part]) {
 			for _, g := range merged[part][h] {
@@ -123,15 +127,17 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 				for _, st := range g.states {
 					v, err := st.Final()
 					if err != nil {
-						return err
+						return nil, err
 					}
 					row = append(row, v)
 				}
 				rows = append(rows, row)
 			}
 		}
-		out[part] = rows
-		return nil
+		return func() error {
+			out[part] = rows
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -258,9 +264,10 @@ const aggSpillFanout = 16
 // not partial states — because aggregate states have no serialized form and
 // finalized values (avg) cannot be re-merged.
 type partAgg struct {
-	ctx  *Context
-	a    *plan.Agg
-	part int
+	ctx     *Context
+	a       *plan.Agg
+	part    int
+	attempt int // owning task attempt; keys spill write-fault draws
 }
 
 // aggregate builds the partition's group map from rows.
@@ -347,7 +354,7 @@ func (pa *partAgg) build(next rowIter, res *spill.Reservation, depth int) (map[u
 				// one out.
 				writers = make([]*spill.Writer, aggSpillFanout)
 				for i := range writers {
-					w, err := pa.ctx.Spill.NewWriter(fmt.Sprintf("agg-p%d-d%d-%d", pa.part, depth, i))
+					w, err := pa.ctx.Spill.NewWriterAt(fmt.Sprintf("agg-p%d-d%d-%d", pa.part, depth, i), pa.attempt)
 					if err != nil {
 						abortAll()
 						return nil, err

@@ -163,6 +163,14 @@ func opErr(op string, err error) error {
 	return fmt.Errorf("%s: %w", op, err)
 }
 
+// taskObs wires the cluster task runner's retry events into the query's
+// timing table: the deterministic backoff waits that precede re-executions
+// accumulate under the "retry" label.
+func taskObs(ctx *Context) cluster.TaskObserver {
+	t := ctx.Timings
+	return cluster.TaskObserver{RetryWait: func(d time.Duration) { t.Add("retry", d) }}
+}
+
 // rowFootprint is the governed in-memory cost of holding one row in an
 // operator's working set: the codec's encoded payload plus slice and header
 // overhead.
@@ -275,21 +283,23 @@ func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
 	}
 	defer ctx.Timings.Track("project")()
 	out := make([][]value.Row, len(in.Parts))
-	err = ctx.Cluster.Parallel(func(part int) error {
+	err = ctx.Cluster.ParallelTasks("project", taskObs(ctx), func(part, _ int) (func() error, error) {
 		rows := make([]value.Row, 0, len(in.Parts[part]))
 		for _, r := range in.Parts[part] {
 			nr := make(value.Row, len(p.Exprs))
 			for i, e := range p.Exprs {
 				v, err := e.Eval(r)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				nr[i] = v
 			}
 			rows = append(rows, nr)
 		}
-		out[part] = rows
-		return nil
+		return func() error {
+			out[part] = rows
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -310,19 +320,21 @@ func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
 	}
 	defer ctx.Timings.Track("filter")()
 	out := make([][]value.Row, len(in.Parts))
-	err = ctx.Cluster.Parallel(func(part int) error {
+	err = ctx.Cluster.ParallelTasks("filter", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var rows []value.Row
 		for _, r := range in.Parts[part] {
 			v, err := f.Pred.Eval(r)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if v.Kind == value.KindBool && v.B {
 				rows = append(rows, r)
 			}
 		}
-		out[part] = rows
-		return nil
+		return func() error {
+			out[part] = rows
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -344,11 +356,20 @@ func runSort(ctx *Context, s *plan.Sort) (*Relation, error) {
 	}
 	defer ctx.Timings.Track("sort")()
 	rows := ctx.Cluster.Gather(in.Parts)
-	if ctx.spillEnabled() {
-		rows, err = externalSort(ctx, s.Keys, rows)
-	} else {
-		err = sortRowsStable(s.Keys, rows)
-	}
+	// The sort is one retryable task: the external path reads the gathered
+	// rows without reordering them and writes fresh runs per attempt, the
+	// in-memory path sorts in place (idempotent — re-sorting sorted rows).
+	err = ctx.Cluster.RunTask("sort", taskObs(ctx), func(attempt int) error {
+		if ctx.spillEnabled() {
+			sorted, serr := externalSort(ctx, s.Keys, rows, attempt)
+			if serr != nil {
+				return serr
+			}
+			rows = sorted
+			return nil
+		}
+		return sortRowsStable(s.Keys, rows)
+	})
 	if err != nil {
 		return nil, opErr("sort", err)
 	}

@@ -14,8 +14,11 @@ import (
 // produced — external and in-memory sorts are bit-identical.
 
 // externalSort sorts rows by keys under the query's memory budget, spilling
-// sorted runs when the sort buffer exceeds its reservation.
-func externalSort(ctx *Context, keys []plan.OrderKey, rows []value.Row) ([]value.Row, error) {
+// sorted runs when the sort buffer exceeds its reservation. The attempt is
+// the owning task's execution count: it keys the spill write-fault draws and
+// guarantees fresh, eventually-clean runs on retry (the input slice is never
+// reordered, so every attempt sees the same rows).
+func externalSort(ctx *Context, keys []plan.OrderKey, rows []value.Row, attempt int) ([]value.Row, error) {
 	res := ctx.Spill.Governor().Reservation("sort")
 	defer res.Release()
 
@@ -30,7 +33,7 @@ func externalSort(ctx *Context, keys []plan.OrderKey, rows []value.Row) ([]value
 	for _, r := range rows {
 		fp := rowFootprint(r)
 		if !res.Grow(fp) {
-			run, err := spillSortedRun(ctx, keys, batch)
+			run, err := spillSortedRun(ctx, keys, batch, attempt)
 			if err != nil {
 				removeRuns()
 				return nil, err
@@ -67,11 +70,11 @@ func externalSort(ctx *Context, keys []plan.OrderKey, rows []value.Row) ([]value
 }
 
 // spillSortedRun stable-sorts batch and writes it out as one run.
-func spillSortedRun(ctx *Context, keys []plan.OrderKey, batch []value.Row) (*spill.Run, error) {
+func spillSortedRun(ctx *Context, keys []plan.OrderKey, batch []value.Row, attempt int) (*spill.Run, error) {
 	if err := sortRowsStable(keys, batch); err != nil {
 		return nil, err
 	}
-	w, err := ctx.Spill.NewWriter("sort")
+	w, err := ctx.Spill.NewWriterAt("sort", attempt)
 	if err != nil {
 		return nil, err
 	}

@@ -147,7 +147,7 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 	}
 
 	out := make([][]value.Row, ctx.Cluster.Partitions())
-	err = ctx.Cluster.Parallel(func(part int) error {
+	err = ctx.Cluster.ParallelTasks("hash join", taskObs(ctx), func(part, attempt int) (func() error, error) {
 		// Build on the smaller side of this partition.
 		lrows, rrows := lparts[part], rparts[part]
 		buildLeft := len(lrows) <= len(rrows)
@@ -167,12 +167,15 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 			buildLeft: buildLeft,
 			charge:    newCharger(ctx, "hash join"),
 			part:      part,
+			attempt:   attempt,
 		}
 		if err := pj.run(buildRows, probeRows); err != nil {
-			return err
+			return nil, err
 		}
-		out[part] = pj.rows
-		return pj.charge.flush()
+		return func() error {
+			out[part] = pj.rows
+			return pj.charge.commit()
+		}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -205,6 +208,7 @@ type partJoin struct {
 	buildLeft bool
 	charge    *charger
 	part      int
+	attempt   int // owning task attempt; keys spill write-fault draws
 	rows      []value.Row
 }
 
@@ -443,7 +447,7 @@ func (pj *partJoin) spillSide(label string, keys []plan.Expr, rows []value.Row, 
 		}
 	}
 	for i := range writers {
-		w, err := pj.ctx.Spill.NewWriter(fmt.Sprintf("%s-p%d-%d", label, pj.part, i))
+		w, err := pj.ctx.Spill.NewWriterAt(fmt.Sprintf("%s-p%d-%d", label, pj.part, i), pj.attempt)
 		if err != nil {
 			abortAll()
 			return nil, err
@@ -531,30 +535,39 @@ func graceSalt(depth int) uint64 {
 
 // charger batches intermediate-tuple accounting so the budget guard fires
 // while a runaway join is still producing, not after it has materialized
-// everything (the mechanism behind the paper's "Fail" entries).
+// everything (the mechanism behind the paper's "Fail" entries). It splits
+// the accounting along the task runner's compute/commit line: tick (compute)
+// only peeks at the budget, so an attempt that is retried or loses a
+// speculation race charges nothing; commit performs the one definitive
+// charge for the winning attempt.
 type charger struct {
-	ctx     *Context
-	op      string
-	pending int64
+	ctx        *Context
+	op         string
+	total      int64 // tuples this attempt has produced
+	sinceCheck int64
 }
 
 func newCharger(ctx *Context, op string) *charger { return &charger{ctx: ctx, op: op} }
 
+// tick counts one produced tuple and periodically peeks at the budget so a
+// runaway operator aborts mid-production.
 func (c *charger) tick() error {
-	c.pending++
-	if c.pending >= 4096 {
-		return c.flush()
+	c.total++
+	c.sinceCheck++
+	if c.sinceCheck >= 4096 {
+		c.sinceCheck = 0
+		return opErr(c.op, c.ctx.Cluster.CheckBudget(c.total))
 	}
 	return nil
 }
 
-func (c *charger) flush() error {
-	if c.pending == 0 {
+// commit charges everything this attempt produced; the task runner invokes
+// it exactly once, from the winning attempt.
+func (c *charger) commit() error {
+	if c.total == 0 {
 		return nil
 	}
-	n := c.pending
-	c.pending = 0
-	return opErr(c.op, c.ctx.Cluster.ChargeTuples(n))
+	return opErr(c.op, c.ctx.Cluster.ChargeTuples(c.total))
 }
 
 func shuffleByKeys(ctx *Context, parts [][]value.Row, keys []plan.Expr) ([][]value.Row, error) {
@@ -565,7 +578,7 @@ func shuffleByKeys(ctx *Context, parts [][]value.Row, keys []plan.Expr) ([][]val
 		mu      sync.Mutex
 		evalErr error
 	)
-	out, err := ctx.Cluster.ShuffleBy(parts, func(r value.Row) int {
+	out, err := ctx.Cluster.ShuffleByObs(taskObs(ctx), parts, func(r value.Row) int {
 		kv, err := evalKeys(keys, r)
 		if err != nil {
 			mu.Lock()
@@ -611,13 +624,13 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 	} else {
 		big, small = right, left
 	}
-	smallParts, err := ctx.Cluster.Broadcast(small.Parts)
+	smallParts, err := ctx.Cluster.BroadcastObs(taskObs(ctx), small.Parts)
 	if err != nil {
 		return nil, err
 	}
 
 	out := make([][]value.Row, ctx.Cluster.Partitions())
-	err = ctx.Cluster.Parallel(func(part int) error {
+	err = ctx.Cluster.ParallelTasks("cross join", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var rows []value.Row
 		charge := newCharger(ctx, "cross join")
 		for _, br := range big.Parts[part] {
@@ -634,7 +647,7 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 				for _, res := range c.Residual {
 					v, err := res.Eval(nr)
 					if err != nil {
-						return err
+						return nil, err
 					}
 					if !(v.Kind == value.KindBool && v.B) {
 						keep = false
@@ -644,17 +657,19 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 				if keep {
 					emitted, err := proj.emit(nr)
 					if err != nil {
-						return err
+						return nil, err
 					}
 					rows = append(rows, emitted)
 					if err := charge.tick(); err != nil {
-						return err
+						return nil, err
 					}
 				}
 			}
 		}
-		out[part] = rows
-		return charge.flush()
+		return func() error {
+			out[part] = rows
+			return charge.commit()
+		}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -69,7 +69,7 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 		return nil, err
 	}
 	out := make([][]value.Row, len(parts))
-	err = ctx.Cluster.Parallel(func(part int) error {
+	err = ctx.Cluster.ParallelTasks("pipeline", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var arena rowArena
 		var rows []value.Row
 		for _, r := range parts[part] {
@@ -77,7 +77,7 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 			for _, pred := range sp.Filters {
 				v, err := pred.Eval(r)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				if v.Kind != value.KindBool || !v.B {
 					keep = false
@@ -95,14 +95,16 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 			for i, e := range sp.Exprs {
 				v, err := e.Eval(r)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				nr[i] = v
 			}
 			rows = append(rows, nr)
 		}
-		out[part] = rows
-		return nil
+		return func() error {
+			out[part] = rows
+			return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err

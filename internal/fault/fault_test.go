@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDisabledConfigReturnsNilInjector(t *testing.T) {
+	if in := New(Config{Seed: 7}); in != nil {
+		t.Fatalf("zero-probability config must yield nil injector, got %v", in)
+	}
+	// Nil injector must be safe and inert on every method.
+	var in *Injector
+	if in.Attempts() != 1 {
+		t.Errorf("nil Attempts = %d, want 1", in.Attempts())
+	}
+	if in.Speculate() {
+		t.Error("nil Speculate = true")
+	}
+	if err := in.Crash("op", 0, 0); err != nil {
+		t.Errorf("nil Crash = %v", err)
+	}
+	if err := in.ShuffleCorrupt("op", 0, 0); err != nil {
+		t.Errorf("nil ShuffleCorrupt = %v", err)
+	}
+	if err := in.SpillWrite("label", 0); err != nil {
+		t.Errorf("nil SpillWrite = %v", err)
+	}
+	if d := in.Straggle("op", 0, 0); d != 0 {
+		t.Errorf("nil Straggle = %v", d)
+	}
+	if d := in.Backoff(1); d != 0 {
+		t.Errorf("nil Backoff = %v", d)
+	}
+}
+
+func TestDrawsAreDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 42, CrashProb: 0.5, ShuffleProb: 0.5, SpillProb: 0.5, StragglerProb: 0.5}
+	a, b := New(cfg), New(cfg)
+	other := New(Config{Seed: 43, CrashProb: 0.5, ShuffleProb: 0.5, SpillProb: 0.5, StragglerProb: 0.5})
+	same, diff := 0, 0
+	for part := 0; part < 8; part++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			ea := a.Crash("hash join", part, attempt)
+			eb := b.Crash("hash join", part, attempt)
+			if (ea == nil) != (eb == nil) {
+				t.Fatalf("same seed diverged at part=%d attempt=%d: %v vs %v", part, attempt, ea, eb)
+			}
+			if (ea == nil) == (other.Crash("hash join", part, attempt) == nil) {
+				same++
+			} else {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical crash decisions at every site; draws look seed-independent")
+	}
+	_ = same
+}
+
+func TestTransientNeverFiresOnFinalAttempt(t *testing.T) {
+	// Property: at ANY seed, with probability 1.0 on every transient site, the
+	// final allowed attempt is always clean — this is what guarantees
+	// convergence under transient-only injection.
+	for seed := uint64(0); seed < 50; seed++ {
+		cfg := Config{Seed: seed, MaxAttempts: 3, CrashProb: 1, ShuffleProb: 1, SpillProb: 1}
+		in := New(cfg)
+		final := in.Attempts() - 1
+		for part := 0; part < 16; part++ {
+			op := fmt.Sprintf("op-%d", part%3)
+			if err := in.Crash(op, part, final); err != nil {
+				t.Fatalf("seed %d: transient crash fired on final attempt: %v", seed, err)
+			}
+			if err := in.ShuffleCorrupt(op, part, final); err != nil {
+				t.Fatalf("seed %d: shuffle fault fired on final attempt: %v", seed, err)
+			}
+			if err := in.SpillWrite(fmt.Sprintf("run-p%d", part), final); err != nil {
+				t.Fatalf("seed %d: spill fault fired on final attempt: %v", seed, err)
+			}
+			// And with prob 1 they always fire on earlier attempts.
+			if err := in.Crash(op, part, 0); err == nil {
+				t.Fatalf("seed %d: prob-1 crash did not fire on attempt 0", seed)
+			}
+		}
+	}
+}
+
+func TestPermanentCrashFiresOnEveryAttempt(t *testing.T) {
+	in := New(Config{Seed: 9, PermanentProb: 1, MaxAttempts: 4})
+	for attempt := 0; attempt < in.Attempts(); attempt++ {
+		err := in.Crash("aggregate", 3, attempt)
+		if err == nil {
+			t.Fatalf("permanent crash missing at attempt %d", attempt)
+		}
+		if Transient(err) {
+			t.Fatalf("permanent crash reported transient at attempt %d: %v", attempt, err)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("permanent crash does not unwrap to ErrInjected: %v", err)
+		}
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	in := New(Config{Seed: 1, CrashProb: 1, MaxAttempts: 3})
+	err := in.Crash("sort", 0, 0)
+	if err == nil {
+		t.Fatal("expected injected crash")
+	}
+	if !Transient(err) {
+		t.Errorf("injected transient crash not classified transient: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected crash does not match ErrInjected: %v", err)
+	}
+	// Wrapping through TaskError preserves both classifications.
+	wrapped := &TaskError{Op: "sort", Part: 0, Attempt: 2, Err: err}
+	if !Transient(wrapped) {
+		t.Errorf("TaskError-wrapped transient not classified transient")
+	}
+	if !errors.Is(wrapped, ErrInjected) {
+		t.Errorf("TaskError-wrapped injected error does not match ErrInjected")
+	}
+	var te *TaskError
+	if !errors.As(wrapped, &te) || te.Op != "sort" || te.Part != 0 || te.Attempt != 2 {
+		t.Errorf("errors.As(TaskError) = %+v", te)
+	}
+	// Real errors are never transient.
+	if Transient(errors.New("disk on fire")) {
+		t.Error("arbitrary error classified transient")
+	}
+	if Transient(nil) {
+		t.Error("nil classified transient")
+	}
+}
+
+func TestTaskErrorMessageNamesOperatorPartitionAttempt(t *testing.T) {
+	e := &TaskError{Op: "hash join", Part: 7, Attempt: 2, Err: errors.New("boom")}
+	got := e.Error()
+	want := "task hash join[p7] attempt 2: boom"
+	if got != want {
+		t.Errorf("TaskError.Error() = %q, want %q", got, want)
+	}
+}
+
+func TestBackoffDeterministicDoublingCapped(t *testing.T) {
+	in := New(Config{Seed: 0, CrashProb: 1, RetryBackoff: time.Millisecond})
+	want := []time.Duration{
+		time.Millisecond,      // retry before attempt 1
+		2 * time.Millisecond,  // attempt 2
+		4 * time.Millisecond,  // attempt 3
+		8 * time.Millisecond,  // attempt 4
+		16 * time.Millisecond, // attempt 5
+		16 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := in.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	off := New(Config{Seed: 0, CrashProb: 1, RetryBackoff: -1})
+	if got := off.Backoff(1); got != 0 {
+		t.Errorf("negative RetryBackoff: Backoff = %v, want 0", got)
+	}
+}
+
+func TestStraggleDelayDefaultsAndConfig(t *testing.T) {
+	in := New(Config{Seed: 5, StragglerProb: 1})
+	if d := in.Straggle("scan", 0, 0); d != defaultStragglerDelay {
+		t.Errorf("default straggler delay = %v, want %v", d, defaultStragglerDelay)
+	}
+	in = New(Config{Seed: 5, StragglerProb: 1, StragglerDelay: 3 * time.Millisecond})
+	if d := in.Straggle("scan", 0, 0); d != 3*time.Millisecond {
+		t.Errorf("configured straggler delay = %v", d)
+	}
+	in = New(Config{Seed: 5, StragglerProb: 0, CrashProb: 1})
+	if d := in.Straggle("scan", 0, 0); d != 0 {
+		t.Errorf("straggle with zero prob = %v, want 0", d)
+	}
+}
+
+func TestDrawUniformish(t *testing.T) {
+	// Sanity: with prob 0.5 roughly half the sites fire — catches degenerate
+	// mixing (all-zero or all-one draws).
+	in := New(Config{Seed: 1234, CrashProb: 0.5, MaxAttempts: 2})
+	fired := 0
+	const n = 2000
+	for part := 0; part < n; part++ {
+		if in.Crash("uniform-check", part, 0) != nil {
+			fired++
+		}
+	}
+	if fired < n/3 || fired > 2*n/3 {
+		t.Errorf("prob-0.5 crash fired %d/%d times; draw distribution looks broken", fired, n)
+	}
+}

@@ -50,6 +50,12 @@ type Hooks struct {
 	// and writes so spill IO shows up as its own entry in the per-operator
 	// timing breakdown.
 	TrackIO func() func()
+	// WriteFault, when set, is consulted once per run writer with the run's
+	// label and the owning task's attempt number; a non-nil return makes the
+	// writer's block writes fail with that error. This is the fault-injection
+	// point for spill-file write failures — the core wires it to the
+	// cluster's injector, which never faults a task's final allowed attempt.
+	WriteFault func(label string, attempt int) error
 }
 
 // Manager owns one query's spill state: the governor, the temp directory,
@@ -163,16 +169,27 @@ func (m *Manager) Close() error {
 // NewWriter opens a new run file for writing. The label (sanitized to
 // [a-z0-9-]) names the operator and partition for debuggability.
 func (m *Manager) NewWriter(label string) (*Writer, error) {
+	return m.NewWriterAt(label, 0)
+}
+
+// NewWriterAt is NewWriter for a run created inside a retryable task's
+// attempt'th execution: the attempt keys the write-fault draw, so retried
+// tasks re-create their runs under a fresh (and eventually clean) attempt.
+func (m *Manager) NewWriterAt(label string, attempt int) (*Writer, error) {
 	f, path, err := m.newFile(sanitize(label))
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{
+	w := &Writer{
 		m:    m,
 		f:    f,
 		bw:   bufio.NewWriterSize(f, 64<<10),
 		path: path,
-	}, nil
+	}
+	if m.hooks.WriteFault != nil {
+		w.fail = m.hooks.WriteFault(label, attempt)
+	}
+	return w, nil
 }
 
 // sanitize maps a label onto filename-safe characters.
@@ -202,6 +219,7 @@ type Writer struct {
 	rows  int64
 	bytes int64
 	done  bool
+	fail  error // injected write fault; every block write fails with it
 }
 
 // Append encodes one row into the current block, flushing the block to the
@@ -222,6 +240,9 @@ func (w *Writer) Rows() int64 { return w.rows }
 func (w *Writer) flushBlock() error {
 	if w.nrows == 0 {
 		return nil
+	}
+	if w.fail != nil {
+		return fmt.Errorf("spill: write block: %w", w.fail)
 	}
 	stop := w.m.track()
 	defer stop()

@@ -246,6 +246,30 @@ func (r Row) Clone() Row {
 	return out
 }
 
+// DeepClone returns a copy of the value sharing no backing storage: vectors
+// and matrices are cloned, scalars are value types already.
+func (v Value) DeepClone() Value {
+	if v.Vec != nil {
+		v.Vec = v.Vec.Clone()
+	}
+	if v.Mat != nil {
+		v.Mat = v.Mat.Clone()
+	}
+	return v
+}
+
+// DeepClone returns a copy of the row whose values share no backing storage
+// with the original (unlike Clone, which shares vectors and matrices). Used
+// when the same row is replicated to several partitions without a codec
+// round-trip in between.
+func (r Row) DeepClone() Row {
+	out := make(Row, len(r))
+	for i, v := range r {
+		out[i] = v.DeepClone()
+	}
+	return out
+}
+
 // SizeBytes sums the sizes of all values in the row.
 func (r Row) SizeBytes() int {
 	n := 0

@@ -21,12 +21,15 @@ echo "== go test =="
 go test -short ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/
+go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/ ./internal/fault/
 
 echo "== kernel benchmark smoke =="
 go run ./cmd/labench -kernels -smoke -out ""
 
 echo "== out-of-core spill sweep smoke =="
 go run ./cmd/labench -spill -smoke
+
+echo "== fault-injection sweep smoke =="
+go run ./cmd/labench -faults -smoke
 
 echo "verify: all gates passed"
