@@ -1,8 +1,8 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
-	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
@@ -19,11 +19,36 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
+// diagJSON is the machine-readable form emitted under -json.
+type diagJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// renderJSON marshals diagnostics as a JSON array (always an array, never
+// null, so consumers can range over an empty result).
+func renderJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]diagJSON, len(diags))
+	for i, d := range diags {
+		out[i] = diagJSON{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
 // Analyzer is one project-specific check.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Pkg, r *Reporter)
+	Run  func(pass *Pass)
 }
 
 // Analyzers lists every check the driver runs, in output order.
@@ -33,6 +58,79 @@ var Analyzers = []*Analyzer{
 	ErrcheckAnalyzer,
 	PanicpolicyAnalyzer,
 	BigcopyAnalyzer,
+	ChargecheckAnalyzer,
+	CommitcheckAnalyzer,
+	SpillkeyAnalyzer,
+	AliascheckAnalyzer,
+	GocheckAnalyzer,
+}
+
+// analyzerNamed returns the analyzer with the given name, or nil.
+func analyzerNamed(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass is one analyzer's view of one package: the typed syntax, the
+// program-wide cross-package facts, and the reporter findings flow through.
+type Pass struct {
+	Pkg  *Pkg
+	Prog *Program
+	R    *Reporter
+}
+
+// Reportf records a finding at pos unless a suppression covers it.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	pass.R.Reportf(pos, format, args...)
+}
+
+// Program owns the cross-package state of one lint invocation: the typed
+// loader and the effect facts (which functions transitively charge the tuple
+// budget, peek it, or mutate cluster stats) accumulated over every package
+// the loader has type-checked, in dependency order. See facts.go.
+type Program struct {
+	loader *Loader
+	facts  *Facts
+	facted int // prefix of loader.Order already folded into facts
+}
+
+// NewProgram wraps a loader with empty fact state.
+func NewProgram(l *Loader) *Program {
+	return &Program{loader: l, facts: newFacts()}
+}
+
+// Analyze runs the enabled analyzers (nil = all) over one loaded package and
+// returns the sorted findings. Cross-package facts are brought up to date
+// first, so a checker sees the effects of every dependency the loader pulled
+// in while type-checking p.
+func (prog *Program) Analyze(p *Pkg, enabled map[string]bool) []Diagnostic {
+	prog.ensureFacts()
+	r := NewReporter(p)
+	for _, a := range Analyzers {
+		if enabled != nil && !enabled[a.Name] {
+			continue
+		}
+		r.analyzer = a.Name
+		a.Run(&Pass{Pkg: p, Prog: prog, R: r})
+	}
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return r.diags
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -114,75 +212,5 @@ func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      position,
 		Analyzer: r.analyzer,
 		Message:  fmt.Sprintf(format, args...),
-	})
-}
-
-// RunAnalyzers runs every analyzer over the package and returns the sorted
-// findings.
-func RunAnalyzers(p *Pkg) []Diagnostic {
-	r := NewReporter(p)
-	for _, a := range Analyzers {
-		r.analyzer = a.Name
-		a.Run(p, r)
-	}
-	sort.Slice(r.diags, func(i, j int) bool {
-		a, b := r.diags[i], r.diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
-		}
-		return a.Message < b.Message
-	})
-	return r.diags
-}
-
-// pathHasSuffix reports whether an import path ends in one of the given
-// package suffixes (used to scope analyzers to the simulation/exec paths;
-// suffix matching keeps the testdata packages in scope for the tests).
-func pathHasSuffix(path string, suffixes ...string) bool {
-	for _, s := range suffixes {
-		if path == s || strings.HasSuffix(path, "/"+s) {
-			return true
-		}
-	}
-	return false
-}
-
-// enclosingFuncName walks a stack of nodes (outermost first) and returns the
-// name of the innermost enclosing function declaration, or "" inside a
-// function literal / outside any function.
-func enclosingFuncName(stack []ast.Node) string {
-	for i := len(stack) - 1; i >= 0; i-- {
-		switch n := stack[i].(type) {
-		case *ast.FuncLit:
-			return ""
-		case *ast.FuncDecl:
-			return n.Name.Name
-		}
-	}
-	return ""
-}
-
-// inspectWithStack walks the file keeping the ancestor stack (outermost
-// first, not including the visited node itself).
-func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
-	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		ok := visit(n, stack)
-		stack = append(stack, n)
-		if !ok {
-			// Still push/pop symmetrically; Inspect will not descend.
-			stack = stack[:len(stack)-1]
-		}
-		return ok
 	})
 }

@@ -25,7 +25,8 @@ var bigcopyScope = []string{
 	"internal/builtins",
 }
 
-func runBigcopy(p *Pkg, r *Reporter) {
+func runBigcopy(pass *Pass) {
+	p, r := pass.Pkg, pass.R
 	if !pathHasSuffix(p.Path, bigcopyScope...) {
 		return
 	}

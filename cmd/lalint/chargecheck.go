@@ -1,0 +1,70 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// ChargecheckAnalyzer enforces the engine's exactly-once accounting contract
+// for ChargeTuples: under the cluster's retry/speculation model a compute may
+// run several times per partition, so a charge issued from a compute (or any
+// retryable closure) is double-counted whenever an attempt loses the race or
+// is retried. Charges belong on the commit path — the closure that runs once,
+// for the winning attempt — or at top level after the runner returns. It also
+// flags CheckBudget on the commit path: the budget peek is admission control
+// for work about to happen, which is compute's job; by commit time the rows
+// already exist and refusing them would lose them.
+var ChargecheckAnalyzer = &Analyzer{
+	Name: "chargecheck",
+	Doc:  "flags ChargeTuples reachable from a retryable compute path (double-charge) and CheckBudget on a commit path",
+	Run:  runChargecheck,
+}
+
+func runChargecheck(pass *Pass) {
+	p, r := pass.Pkg, pass.R
+	facts := pass.Prog.facts
+	for _, f := range p.Files {
+		tm := buildTaskMap(p, f)
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p, call)
+			if callee == nil {
+				return true
+			}
+			charges := isClusterMethod(callee, "ChargeTuples")
+			chargesVia := !charges && facts.Of(callee)&effCharges != 0
+			checks := isClusterMethod(callee, "CheckBudget")
+			checksVia := !checks && facts.Of(callee)&effChecksBudget != 0
+			if !charges && !chargesVia && !checks && !checksVia {
+				return true
+			}
+			info := tm.at(stack)
+			role := roleNone
+			if info != nil {
+				role = info.role
+			}
+			switch {
+			case (charges || chargesVia) && (role == roleCompute || role == roleIdem):
+				how := "calls ChargeTuples"
+				if chargesVia {
+					how = "reaches ChargeTuples via " + callee.Name()
+				}
+				r.Reportf(call.Pos(), "%s task %s; retried/speculated attempts double-charge — charge from the commit closure instead", role, how)
+			case charges && inLoop(stack):
+				// Only direct calls: a helper that transitively charges (a
+				// whole query run, say) is legitimately invoked in a loop —
+				// each invocation accounts for its own rows.
+				r.Reportf(call.Pos(), "ChargeTuples inside a loop charges once per iteration; accumulate a count and charge once")
+			case (checks || checksVia) && role == roleCommit:
+				how := "calls CheckBudget"
+				if checksVia {
+					how = "reaches CheckBudget via " + callee.Name()
+				}
+				r.Reportf(call.Pos(), "commit closure %s; budget admission belongs in compute, before the rows are produced", how)
+			}
+			return true
+		})
+	}
+}

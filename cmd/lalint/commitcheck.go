@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CommitcheckAnalyzer enforces the compute/commit split of the cluster's
+// speculative task runner: a compute closure may run concurrently with a
+// speculated duplicate of itself and losing attempts are discarded, so any
+// write it makes to state outside its own body — a cluster.Stats counter or a
+// captured variable — is observable from attempts that were supposed to never
+// have happened. Computes read immutable snapshots and build private results;
+// the commit closure (which runs exactly once) installs them.
+//
+// Closures passed to the retry-only runners (Parallel/ParallelOp/RunTask) are
+// exempt: their documented contract is idempotence, and per-partition slot
+// writes there are the normal result-return idiom.
+var CommitcheckAnalyzer = &Analyzer{
+	Name: "commitcheck",
+	Doc:  "flags Stats mutation and captured-state writes inside speculable compute closures",
+	Run:  runCommitcheck,
+}
+
+func runCommitcheck(pass *Pass) {
+	p, r := pass.Pkg, pass.R
+	facts := pass.Prog.facts
+	for _, f := range p.Files {
+		tm := buildTaskMap(p, f)
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			info, lit := tm.atLit(stack)
+			if info == nil || info.role != roleCompute {
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if isStatsMutation(p, x) {
+					r.Reportf(x.Pos(), "compute task mutates cluster stats; speculated attempts double-count — move the mutation to the commit closure")
+					return true
+				}
+				callee := calleeFunc(p, x)
+				if callee == nil {
+					break
+				}
+				eff := facts.Of(callee)
+				// Charge calls are chargecheck's finding; report helpers that
+				// mutate stats without going through ChargeTuples.
+				if eff&effMutatesStats != 0 && eff&effCharges == 0 && !isClusterMethod(callee, "ChargeTuples") {
+					r.Reportf(x.Pos(), "compute task calls %s, which mutates cluster stats; speculated attempts double-count — move it to the commit closure", callee.Name())
+				}
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE {
+					break
+				}
+				for _, lhs := range x.Lhs {
+					reportCapturedWrite(p, r, lit, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportCapturedWrite(p, r, lit, x.X)
+			}
+			return true
+		})
+	}
+}
+
+// reportCapturedWrite flags a write through an lvalue whose root identifier
+// is declared outside the compute literal. Writes into a commit closure
+// nested in the compute are that closure's business, and atLit already
+// resolved the innermost role, so lit here really is the compute body.
+func reportCapturedWrite(p *Pkg, r *Reporter, lit *ast.FuncLit, lhs ast.Expr) {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := identObj(p, id)
+	if obj == nil || declaredWithin(obj, lit) {
+		return
+	}
+	// Package-level and method-receiver state counts too; only truly local
+	// declarations (parameters included — they are inside the literal's span)
+	// are private to the attempt.
+	r.Reportf(lhs.Pos(), "compute task writes captured %q declared outside the task; speculated attempts race — build the result locally and install it in the commit closure", id.Name)
+}

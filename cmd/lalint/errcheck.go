@@ -20,7 +20,8 @@ var ErrcheckAnalyzer = &Analyzer{
 	Run:  runErrcheck,
 }
 
-func runErrcheck(p *Pkg, r *Reporter) {
+func runErrcheck(pass *Pass) {
+	p, r := pass.Pkg, pass.R
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var call *ast.CallExpr

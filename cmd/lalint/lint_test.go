@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -13,20 +14,29 @@ var update = flag.Bool("update", false, "rewrite the golden files from current a
 // goldenCases maps each analyzer to its fixture packages. The directory
 // layout places every fixture at an import path ending in a suffix the
 // analyzer is scoped to (e.g. .../bad/internal/exec), so the packages are
-// linted exactly like the real module packages.
+// linted exactly like the real module packages. Cases marked exclusive
+// additionally assert that the deliberately broken fixture is flagged by the
+// intended checker and by nothing else.
 var goldenCases = []struct {
-	analyzer string
-	bad, ok  string // directories relative to testdata/
+	analyzer  string
+	bad, ok   string // directories relative to testdata/
+	exclusive bool
 }{
-	{"nodeterminism", "nodeterminism/bad/internal/exec", "nodeterminism/ok/internal/exec"},
-	{"lockcheck", "lockcheck/bad/internal/cluster", "lockcheck/ok/internal/cluster"},
-	{"errcheck", "errcheck/bad/pkg", "errcheck/ok/pkg"},
-	{"panicpolicy", "panicpolicy/bad/internal/opt", "panicpolicy/ok/internal/opt"},
-	{"bigcopy", "bigcopy/bad/internal/exec", "bigcopy/ok/internal/exec"},
+	{"nodeterminism", "nodeterminism/bad/internal/exec", "nodeterminism/ok/internal/exec", false},
+	{"lockcheck", "lockcheck/bad/internal/cluster", "lockcheck/ok/internal/cluster", false},
+	{"errcheck", "errcheck/bad/pkg", "errcheck/ok/pkg", false},
+	{"panicpolicy", "panicpolicy/bad/internal/opt", "panicpolicy/ok/internal/opt", false},
+	{"bigcopy", "bigcopy/bad/internal/exec", "bigcopy/ok/internal/exec", false},
+	{"chargecheck", "chargecheck/bad/internal/exec", "chargecheck/ok/internal/exec", true},
+	{"commitcheck", "commitcheck/bad/internal/exec", "commitcheck/ok/internal/exec", true},
+	{"spillkey", "spillkey/bad/internal/exec", "spillkey/ok/internal/exec", true},
+	{"aliascheck", "aliascheck/bad/internal/exec", "aliascheck/ok/internal/exec", true},
+	{"gocheck", "gocheck/bad/internal/linalg", "gocheck/ok/internal/linalg", true},
 }
 
-// loadFixture type-checks one testdata package at its natural import path.
-func loadFixture(t *testing.T, rel string) *Pkg {
+// loadFixture type-checks one testdata package at its natural import path and
+// wraps it in a Program so analyzers see cross-package facts.
+func loadFixture(t *testing.T, rel string) (*Pkg, *Program) {
 	t.Helper()
 	root, err := findModuleRoot()
 	if err != nil {
@@ -42,7 +52,7 @@ func loadFixture(t *testing.T, rel string) *Pkg {
 	if err != nil {
 		t.Fatalf("loading %s: %v", rel, err)
 	}
-	return p
+	return p, NewProgram(loader)
 }
 
 // render formats diagnostics with basenames so goldens are location-stable.
@@ -59,11 +69,14 @@ func render(diags []Diagnostic) string {
 func TestGolden(t *testing.T) {
 	for _, c := range goldenCases {
 		t.Run(c.analyzer, func(t *testing.T) {
-			p := loadFixture(t, c.bad)
+			p, prog := loadFixture(t, c.bad)
+			all := prog.Analyze(p, nil)
 			var diags []Diagnostic
-			for _, d := range RunAnalyzers(p) {
+			for _, d := range all {
 				if d.Analyzer == c.analyzer {
 					diags = append(diags, d)
+				} else if c.exclusive {
+					t.Errorf("bad fixture %s flagged by %s, want only %s: %s", c.bad, d.Analyzer, c.analyzer, d)
 				}
 			}
 			if len(diags) == 0 {
@@ -88,24 +101,99 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestSuppressed checks every ok fixture is clean under the FULL analyzer
+// set: the sanctioned idioms must not trade one finding for another.
 func TestSuppressed(t *testing.T) {
 	for _, c := range goldenCases {
 		t.Run(c.analyzer, func(t *testing.T) {
-			p := loadFixture(t, c.ok)
-			if diags := RunAnalyzers(p); len(diags) != 0 {
+			p, prog := loadFixture(t, c.ok)
+			if diags := prog.Analyze(p, nil); len(diags) != 0 {
 				t.Errorf("ok fixture %s produced findings:\n%s", c.ok, render(diags))
 			}
 		})
 	}
 }
 
+// TestCheckerFlag checks -checker style filtering: only the selected
+// analyzers run.
+func TestCheckerFlag(t *testing.T) {
+	badCharge := "./cmd/lalint/testdata/chargecheck/bad/internal/exec"
+	diags, status := lint(options{checkers: map[string]bool{"gocheck": true}}, []string{badCharge})
+	if status != 0 || len(diags) != 0 {
+		t.Errorf("filtering to gocheck on a chargecheck fixture: got %d findings, status %d; want clean", len(diags), status)
+	}
+	diags, status = lint(options{checkers: map[string]bool{"chargecheck": true}}, []string{badCharge})
+	if status != 1 || len(diags) == 0 {
+		t.Fatalf("filtering to chargecheck on its bad fixture: got %d findings, status %d; want findings, status 1", len(diags), status)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "chargecheck" {
+			t.Errorf("filtered run emitted %s finding: %s", d.Analyzer, d)
+		}
+	}
+}
+
+// TestParseCheckers checks the -checker flag's name validation.
+func TestParseCheckers(t *testing.T) {
+	got, err := parseCheckers("gocheck, spillkey")
+	if err != nil || !got["gocheck"] || !got["spillkey"] || len(got) != 2 {
+		t.Errorf("parseCheckers(\"gocheck, spillkey\") = %v, %v", got, err)
+	}
+	if _, err := parseCheckers("nosuchcheck"); err == nil {
+		t.Error("parseCheckers accepted an unknown checker name")
+	}
+}
+
+// TestJSONOutput checks the -json rendering: a valid array with the expected
+// fields, and an empty (not null) array for a clean run.
+func TestJSONOutput(t *testing.T) {
+	diags, status := lint(options{}, []string{"./cmd/lalint/testdata/gocheck/bad/internal/linalg"})
+	if status != 1 || len(diags) == 0 {
+		t.Fatalf("bad fixture: %d findings, status %d", len(diags), status)
+	}
+	out, err := renderJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []diagJSON
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("JSON has %d entries, want %d", len(decoded), len(diags))
+	}
+	d := decoded[0]
+	if d.Analyzer != "gocheck" || d.File == "" || d.Line == 0 || d.Message == "" {
+		t.Errorf("incomplete JSON entry: %+v", d)
+	}
+	empty, err := renderJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(empty)) != "[]" {
+		t.Errorf("empty findings render as %q, want []", empty)
+	}
+}
+
+// TestRepoClean is the self-hosting regression: the full analyzer suite over
+// the whole module must be clean.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	diags, status := lint(options{}, []string{"./..."})
+	if status != 0 {
+		t.Errorf("lalint ./... is not clean (status %d):\n%s", status, render(diags))
+	}
+}
+
 // TestDriverExitCodes runs the real driver entry point: findings must make
 // the exit status 1, a clean package 0.
 func TestDriverExitCodes(t *testing.T) {
-	if got := run([]string{"./cmd/lalint/testdata/errcheck/bad/pkg"}); got != 1 {
+	if got := run(options{}, []string{"./cmd/lalint/testdata/errcheck/bad/pkg"}); got != 1 {
 		t.Errorf("driver on bad fixture: exit %d, want 1", got)
 	}
-	if got := run([]string{"./cmd/lalint/testdata/errcheck/ok/pkg"}); got != 0 {
+	if got := run(options{}, []string{"./cmd/lalint/testdata/errcheck/ok/pkg"}); got != 0 {
 		t.Errorf("driver on ok fixture: exit %d, want 0", got)
 	}
 }
@@ -113,8 +201,8 @@ func TestDriverExitCodes(t *testing.T) {
 // TestMalformedDirective checks that a reasonless lint:ignore is itself a
 // finding from the "lalint" pseudo-analyzer.
 func TestMalformedDirective(t *testing.T) {
-	p := loadFixture(t, "malformed/pkg")
-	diags := RunAnalyzers(p)
+	p, prog := loadFixture(t, "malformed/pkg")
+	diags := prog.Analyze(p, nil)
 	if len(diags) != 2 {
 		t.Fatalf("got %d findings, want 2 (malformed directive + unsuppressed finding):\n%s", len(diags), render(diags))
 	}

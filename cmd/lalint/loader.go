@@ -32,6 +32,13 @@ type Loader struct {
 	Fset       *token.FileSet
 	Sizes      types.Sizes
 
+	// Order lists every package this loader has type-checked, in completion
+	// order. Because the type-checker pulls in a package's imports before the
+	// package itself finishes, Order is a dependency order: a package's
+	// module-internal dependencies always precede it. The cross-package fact
+	// computation (facts.go) folds packages in exactly this order.
+	Order []*Pkg
+
 	fallback types.Importer
 	pkgs     map[string]*Pkg
 	loading  map[string]bool
@@ -141,7 +148,9 @@ func (l *Loader) LoadDirAs(dir, path string) (*Pkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lalint: type-checking %s: %w", path, err)
 	}
-	return &Pkg{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+	p := &Pkg{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.Order = append(l.Order, p)
+	return p, nil
 }
 
 // Expand resolves command-line patterns ("./...", "./internal/...",

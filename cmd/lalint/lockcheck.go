@@ -14,7 +14,8 @@ var LockcheckAnalyzer = &Analyzer{
 	Run:  runLockcheck,
 }
 
-func runLockcheck(p *Pkg, r *Reporter) {
+func runLockcheck(pass *Pass) {
+	p, r := pass.Pkg, pass.R
 	for _, f := range p.Files {
 		checkSyncCopies(p, r, f)
 		checkGoroutineCaptures(p, r, f)

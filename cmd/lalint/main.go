@@ -1,18 +1,21 @@
-// Command lalint is the project's static-analysis gate: a pure-stdlib
-// (go/parser + go/types, no go/packages) walker over the module with
-// project-specific analyzers for the determinism and concurrency contracts
-// the simulated cluster depends on.
+// Command lalint is the project's static-analysis gate: a type-aware
+// (go/parser + go/types, dependency-light — no go/packages) analysis suite
+// over the module, with project-specific analyzers for the determinism,
+// concurrency, and accounting contracts the simulated cluster depends on.
 //
 // Usage:
 //
-//	go run ./cmd/lalint ./...              # whole module
-//	go run ./cmd/lalint ./internal/...     # one subtree
+//	go run ./cmd/lalint ./...                      # whole module
+//	go run ./cmd/lalint ./internal/...             # one subtree
+//	go run ./cmd/lalint -checker chargecheck ./... # one analyzer
+//	go run ./cmd/lalint -json ./...                # machine-readable output
 //
-// Findings print as "file:line: [analyzer] message" and make the exit status
-// non-zero. Suppress an individual finding with a comment on, or directly
+// Findings print as "file:line: [analyzer] message" (or a JSON array under
+// -json) and make the exit status non-zero: 1 for findings, 2 for load or
+// usage errors. Suppress an individual finding with a comment on, or directly
 // above, the offending line:
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // The reason is mandatory; a bare directive is itself a finding.
 package main
@@ -22,10 +25,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 func main() {
+	var opts options
 	list := flag.Bool("analyzers", false, "list analyzers and exit")
+	flag.BoolVar(&opts.json, "json", false, "emit findings as a JSON array")
+	checker := flag.String("checker", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 	if *list {
 		for _, a := range Analyzers {
@@ -33,30 +40,80 @@ func main() {
 		}
 		return
 	}
+	if *checker != "" {
+		var err error
+		if opts.checkers, err = parseCheckers(*checker); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(run(patterns))
+	os.Exit(run(opts, patterns))
 }
 
-func run(patterns []string) int {
+// options are the driver knobs the flag set populates.
+type options struct {
+	json     bool
+	checkers map[string]bool // nil = run all analyzers
+}
+
+// parseCheckers validates a -checker comma-list against the analyzer set.
+func parseCheckers(list string) (map[string]bool, error) {
+	checkers := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if analyzerNamed(name) == nil {
+			return nil, fmt.Errorf("lalint: unknown checker %q (try -analyzers)", name)
+		}
+		checkers[name] = true
+	}
+	return checkers, nil
+}
+
+// run lints the patterns and prints the findings; it returns the process
+// exit status (0 clean, 1 findings, 2 load error).
+func run(opts options, patterns []string) int {
+	diags, status := lint(opts, patterns)
+	if opts.json {
+		out, err := renderJSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lalint:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	return status
+}
+
+// lint is the testable core of the driver: it loads every package the
+// patterns expand to, runs the enabled analyzers with cross-package facts,
+// and returns root-relative findings plus the exit status.
+func lint(opts options, patterns []string) ([]Diagnostic, int) {
 	root, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return nil, 2
 	}
 	loader, err := NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return nil, 2
 	}
 	paths, err := loader.Expand(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return nil, 2
 	}
+	prog := NewProgram(loader)
 	status := 0
+	var diags []Diagnostic
 	for _, path := range paths {
 		p, err := loader.Load(path)
 		if err != nil {
@@ -64,17 +121,17 @@ func run(patterns []string) int {
 			status = 2
 			continue
 		}
-		for _, d := range RunAnalyzers(p) {
+		for _, d := range prog.Analyze(p, opts.checkers) {
 			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
 				d.Pos.Filename = rel
 			}
-			fmt.Println(d)
+			diags = append(diags, d)
 			if status == 0 {
 				status = 1
 			}
 		}
 	}
-	return status
+	return diags, status
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

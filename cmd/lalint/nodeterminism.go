@@ -27,7 +27,8 @@ var nondetScope = []string{
 	"internal/fault",
 }
 
-func runNodeterminism(p *Pkg, r *Reporter) {
+func runNodeterminism(pass *Pass) {
+	p, r := pass.Pkg, pass.R
 	if !pathHasSuffix(p.Path, nondetScope...) {
 		return
 	}

@@ -26,7 +26,8 @@ var panicAllowedPkgs = []string{
 	"internal/linalg",
 }
 
-func runPanicpolicy(p *Pkg, r *Reporter) {
+func runPanicpolicy(pass *Pass) {
+	p, r := pass.Pkg, pass.R
 	if !pathContainsInternal(p.Path) || pathHasSuffix(p.Path, panicAllowedPkgs...) {
 		return
 	}

@@ -1,0 +1,60 @@
+// Deliberately broken fixtures: every ChargeTuples here is reachable from a
+// retryable or speculable path, or a CheckBudget runs at commit time.
+package exec
+
+import (
+	"relalg/cmd/lalint/testdata/chargecheck/helperpkg"
+	"relalg/internal/cluster"
+)
+
+// directInCompute charges from a speculable compute: every losing or retried
+// attempt charges again.
+func directInCompute(c *cluster.Cluster, counts []int64) error {
+	return c.ParallelTasks("op", cluster.TaskObserver{}, func(part, attempt int) (func() error, error) {
+		if err := c.ChargeTuples(counts[part]); err != nil {
+			return nil, err
+		}
+		return func() error { return nil }, nil
+	})
+}
+
+// viaHelperInCompute reaches ChargeTuples through another package's helper;
+// the cross-package facts must see through the call.
+func viaHelperInCompute(c *cluster.Cluster, counts []int64) error {
+	return c.ParallelTasks("op", cluster.TaskObserver{}, func(part, attempt int) (func() error, error) {
+		if err := helperpkg.ChargeVia(c, counts[part]); err != nil {
+			return nil, err
+		}
+		return func() error { return nil }, nil
+	})
+}
+
+// inRetryable charges from a retried closure: each retry re-charges.
+func inRetryable(c *cluster.Cluster, counts []int64) error {
+	return c.Parallel(func(part int) error {
+		return c.ChargeTuples(counts[part])
+	})
+}
+
+// budgetInCommit peeks the budget after the rows already exist.
+func budgetInCommit(c *cluster.Cluster, counts []int64) error {
+	return c.ParallelTasks("op", cluster.TaskObserver{}, func(part, attempt int) (func() error, error) {
+		n := counts[part]
+		return func() error {
+			if err := c.CheckBudget(n); err != nil {
+				return err
+			}
+			return c.ChargeTuples(n)
+		}, nil
+	})
+}
+
+// chargePerIteration charges row group by row group instead of once.
+func chargePerIteration(c *cluster.Cluster, counts []int64) error {
+	for _, n := range counts {
+		if err := c.ChargeTuples(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

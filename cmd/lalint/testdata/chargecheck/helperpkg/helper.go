@@ -1,0 +1,11 @@
+// Package helperpkg exists so the chargecheck golden tests exercise
+// cross-package effect facts: the bad fixture reaches ChargeTuples only
+// through this helper, and the checker must see through the call.
+package helperpkg
+
+import "relalg/internal/cluster"
+
+// ChargeVia charges the cluster's tuple budget on the caller's behalf.
+func ChargeVia(c *cluster.Cluster, n int64) error {
+	return c.ChargeTuples(n)
+}

@@ -1,0 +1,25 @@
+// Deliberately broken fixture: a raw go statement outside the sanctioned
+// pool entry points — unbounded, unrecovered, invisible to the injector.
+package linalg
+
+import "sync"
+
+// rowSums fans out per-row workers with raw go statements instead of the
+// kernel pool.
+func rowSums(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var s float64
+			for _, v := range rows[i] {
+				s += v
+			}
+			out[i] = s
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,31 @@
+// Clean fixture: goroutine creation is confined to the sanctioned pool entry
+// point; everything else routes work through it.
+package linalg
+
+import "sync"
+
+// parallelRanges is this fixture package's sanctioned pool entry point.
+func parallelRanges(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// rowSums routes per-row work through the pool entry point.
+func rowSums(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	parallelRanges(len(rows), func(i int) {
+		var s float64
+		for _, v := range rows[i] {
+			s += v
+		}
+		out[i] = s
+	})
+	return out
+}

@@ -519,6 +519,7 @@ func (c *Cluster) deliver(op string, obs TaskObserver, buckets [][][]value.Row) 
 	out := make([][]value.Row, p)
 	err := c.ParallelTasks(op, obs, func(dst, attempt int) (func() error, error) {
 		if err := c.injector.ShuffleCorrupt(op, dst, attempt); err != nil {
+			//lint:ignore commitcheck FaultsInjected counts per-attempt fault draws; a faulted attempt never commits, so the count must happen here
 			c.stats.FaultsInjected.Add(1)
 			return nil, err
 		}
@@ -589,6 +590,7 @@ func (c *Cluster) BroadcastObs(obs TaskObserver, parts [][]value.Row) ([][]value
 	out := make([][]value.Row, p)
 	err := c.ParallelTasks("broadcast", obs, func(dst, attempt int) (func() error, error) {
 		if err := c.injector.ShuffleCorrupt("broadcast", dst, attempt); err != nil {
+			//lint:ignore commitcheck FaultsInjected counts per-attempt fault draws; a faulted attempt never commits, so the count must happen here
 			c.stats.FaultsInjected.Add(1)
 			return nil, err
 		}

@@ -1,35 +1,70 @@
 #!/usr/bin/env bash
 # verify.sh is the repo's full verification gate: build, vet, the
-# project-specific lalint analyzers, the test suite, and the race detector
+# project-specific lalint analysis suite, the test suite, the race detector
 # over the concurrent packages (the simulated cluster, the executor, the
-# BLAS-like kernels, and the benchmark harness that drives them).
+# BLAS-like kernels, and the benchmark harness that drives them), and the
+# benchmark smokes.
+#
+# Every gate runs even if an earlier one fails (except that a failed build
+# skips the gates that cannot run without a building tree); the run ends with
+# a summary table and a non-zero exit if any gate failed.
 #
 # Usage: scripts/verify.sh
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== go build =="
-go build ./...
+declare -a GATE_NAMES=()
+declare -a GATE_RESULTS=()
+FAILED=0
+BUILD_OK=1
 
-echo "== go vet =="
-go vet ./...
+# gate <name> <command...> runs one gate, records pass/FAIL, and keeps going.
+gate() {
+  local name="$1"
+  shift
+  echo "== ${name} =="
+  if "$@"; then
+    GATE_NAMES+=("$name")
+    GATE_RESULTS+=(pass)
+  else
+    GATE_NAMES+=("$name")
+    GATE_RESULTS+=(FAIL)
+    FAILED=1
+  fi
+}
 
-echo "== lalint =="
-go run ./cmd/lalint ./...
+# skip <name> <reason> records a gate that could not run.
+skip() {
+  echo "== ${1} == (skipped: ${2})"
+  GATE_NAMES+=("$1")
+  GATE_RESULTS+=("skip (${2})")
+  FAILED=1
+}
 
-echo "== go test =="
-go test -short ./...
+gate "go build" go build ./...
+[[ ${GATE_RESULTS[-1]} == pass ]] || BUILD_OK=0
 
-echo "== go test -race (concurrent packages) =="
-go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/ ./internal/fault/
+if [[ $BUILD_OK == 1 ]]; then
+  gate "go vet" go vet ./...
+  gate "lalint" go run ./cmd/lalint ./...
+  gate "go test" go test -short ./...
+  gate "go test -race" go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/ ./internal/fault/
+  gate "kernel smoke" go run ./cmd/labench -kernels -smoke -out ""
+  gate "spill smoke" go run ./cmd/labench -spill -smoke
+  gate "faults smoke" go run ./cmd/labench -faults -smoke
+else
+  for g in "go vet" "lalint" "go test" "go test -race" "kernel smoke" "spill smoke" "faults smoke"; do
+    skip "$g" "build failed"
+  done
+fi
 
-echo "== kernel benchmark smoke =="
-go run ./cmd/labench -kernels -smoke -out ""
-
-echo "== out-of-core spill sweep smoke =="
-go run ./cmd/labench -spill -smoke
-
-echo "== fault-injection sweep smoke =="
-go run ./cmd/labench -faults -smoke
-
+echo
+echo "== verify summary =="
+for i in "${!GATE_NAMES[@]}"; do
+  printf '  %-14s %s\n' "${GATE_NAMES[$i]}" "${GATE_RESULTS[$i]}"
+done
+if [[ $FAILED == 1 ]]; then
+  echo "verify: FAILED"
+  exit 1
+fi
 echo "verify: all gates passed"
