@@ -143,7 +143,7 @@ func paper41Catalog(b *testing.B) *catalog.Catalog {
 	b.Helper()
 	cat := catalog.New()
 	add := func(name string, rows int64, cols ...catalog.Column) {
-		if err := cat.CreateTable(&catalog.TableMeta{Name: name, Schema: catalog.Schema{Cols: cols}, RowCount: rows}); err != nil {
+		if err := cat.CreateTable(catalog.NewTableMeta(name, catalog.Schema{Cols: cols}, rows)); err != nil {
 			b.Fatal(err)
 		}
 	}

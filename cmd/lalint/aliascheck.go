@@ -20,10 +20,12 @@ var AliascheckAnalyzer = &Analyzer{
 	Run:  runAliascheck,
 }
 
-// aliasScope: the packages that move rows between partitions.
+// aliasScope: the packages that move rows between partitions or across
+// connections.
 var aliasScope = []string{
 	"internal/cluster",
 	"internal/exec",
+	"internal/serve",
 }
 
 func runAliascheck(pass *Pass) {

@@ -18,11 +18,13 @@ var GocheckAnalyzer = &Analyzer{
 }
 
 // goAllowlist maps the confined package suffixes to the functions that are
-// allowed to spawn goroutines: the kernel worker pool and the cluster's task
-// runners/speculator.
+// allowed to spawn goroutines: the kernel worker pool, the cluster's task
+// runners/speculator, and the server's accept loop (one session goroutine
+// per connection; everything a session runs goes through those runners).
 var goAllowlist = map[string][]string{
 	"internal/linalg":  {"parallelRanges"},
 	"internal/cluster": {"parallelTasks", "parallelOver", "speculateAttempt"},
+	"internal/serve":   {"Serve"},
 }
 
 func runGocheck(pass *Pass) {

@@ -4,6 +4,9 @@
 //	echo "SELECT 1+2" | lasql   run statements from stdin
 //	lasql -i                    interactive prompt (one statement per line,
 //	                            terminated by ';')
+//	lasql -serve :4321          long-lived server: concurrent sessions over a
+//	                            length-prefixed TCP protocol
+//	lasql -client :4321         run a script (or -i prompt) against a server
 //
 // The engine supports the paper's VECTOR/MATRIX/LABELED_SCALAR types, the
 // linear-algebra built-ins, and EXPLAIN.
@@ -15,10 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"relalg/internal/core"
 	"relalg/internal/csvio"
+	"relalg/internal/serve"
 )
 
 // assignFlags collects repeatable table=path flags.
@@ -38,10 +44,22 @@ func main() {
 	nodes := flag.Int("nodes", 10, "simulated cluster nodes")
 	perNode := flag.Int("partitions", 2, "partitions per node")
 	initScript := flag.String("init", "", "DDL script run before -load (e.g. CREATE TABLE statements)")
+	serveAddr := flag.String("serve", "", "serve the engine on this address (e.g. :4321) after -init/-load")
+	clientAddr := flag.String("client", "", "run against a lasql server at this address instead of in-process")
+	maxConc := flag.Int("max-concurrent", 4, "with -serve: statements executing at once; others wait for admission")
+	memPool := flag.Int64("mem-pool", 0, "with -serve: shared spill memory pool in bytes (0 inherits config, <0 unlimited)")
 	var loads, dumps assignFlags
 	flag.Var(&loads, "load", "load CSV (with header) into a table after -init, before the script: table=path (repeatable)")
 	flag.Var(&dumps, "dump", "dump a table to CSV after the script: table=path (repeatable)")
 	flag.Parse()
+
+	if *clientAddr != "" {
+		if *serveAddr != "" || *initScript != "" || len(loads) > 0 || len(dumps) > 0 {
+			fmt.Fprintln(os.Stderr, "lasql: -client cannot be combined with -serve/-init/-load/-dump (those run in the server process)")
+			os.Exit(1)
+		}
+		os.Exit(runClient(*clientAddr, *interactive))
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Cluster.Nodes = *nodes
@@ -98,9 +116,21 @@ func main() {
 	}
 	doLoads()
 
-	if *interactive {
-		repl(db)
+	if *serveAddr != "" {
+		if err := runServer(db, *serveAddr, *maxConc, *memPool); err != nil {
+			fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+			os.Exit(1)
+		}
 		doDumps()
+		return
+	}
+
+	if *interactive {
+		ok := repl(db)
+		doDumps()
+		if !ok {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -126,7 +156,170 @@ func main() {
 	doDumps()
 }
 
-func repl(db *core.Database) {
+// runServer serves db on addr until SIGINT/SIGTERM, then shuts down
+// gracefully: in-flight statements finish their responses before sessions
+// close.
+func runServer(db *core.Database, addr string, maxConc int, memPool int64) error {
+	srv := serve.New(db, serve.Config{MaxConcurrent: maxConc, MemoryPoolBytes: memPool})
+	lisAddr, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lasql: serving on %s (max-concurrent=%d)\n", lisAddr, maxConc)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "lasql: %v, shutting down\n", sig)
+		if err := srv.Shutdown(); err != nil {
+			return err
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lasql: served %d queries\n", srv.Stats().QueriesServed)
+	return nil
+}
+
+// runClient sends a script (file argument, stdin, or interactive prompt) to
+// a running server, printing each reply. Returns the process exit code:
+// nonzero when any statement fails.
+func runClient(addr string, interactive bool) int {
+	c, err := serve.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+		return 1
+	}
+	defer func() { _ = c.Close() }()
+
+	doStmt := func(stmt string) bool {
+		reply, err := c.Do(stmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lasql: transport: %v\n", err)
+			return false
+		}
+		if reply.ErrMsg != "" {
+			fmt.Fprintf(os.Stderr, "error: %s\n", reply.ErrMsg)
+			return false
+		}
+		printReply(reply)
+		return true
+	}
+
+	if interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var buf strings.Builder
+		code := 0
+		fmt.Print("lasql> ")
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.TrimSpace(line) == `\stats` {
+				if !doStmt(`\stats`) {
+					code = 1
+				}
+				fmt.Print("lasql> ")
+				continue
+			}
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			if !strings.Contains(line, ";") {
+				fmt.Print("   ..> ")
+				continue
+			}
+			for _, stmt := range splitStatements(buf.String()) {
+				if !doStmt(stmt) {
+					code = 1
+				}
+			}
+			buf.Reset()
+			fmt.Print("lasql> ")
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "lasql: reading input: %v\n", err)
+			return 1
+		}
+		return code
+	}
+
+	var src []byte
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+		return 1
+	}
+	for _, stmt := range splitStatements(string(src)) {
+		if !doStmt(stmt) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// splitStatements splits a script on semicolons outside single-quoted
+// strings. The server parses each statement; the client only needs the
+// boundaries.
+func splitStatements(src string) []string {
+	var out []string
+	start, inStr := 0, false
+	for i := 0; i < len(src); i++ {
+		switch {
+		case src[i] == '\'':
+			inStr = !inStr
+		case src[i] == ';' && !inStr:
+			if s := strings.TrimSpace(src[start:i]); s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	if s := strings.TrimSpace(src[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// printReply renders a server reply in the same shape as printResult.
+func printReply(r *serve.Reply) {
+	if r.Stats != "" && len(r.Schema) == 0 {
+		fmt.Println(r.Stats)
+		return
+	}
+	if len(r.Schema) == 0 {
+		fmt.Printf("%s\n\n", r.Done)
+		return
+	}
+	names := make([]string, len(r.Schema))
+	for i, line := range r.Schema {
+		names[i], _, _ = strings.Cut(line, "\t")
+	}
+	fmt.Println(strings.Join(names, "\t"))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Printf("(%s; %s)\n\n", r.Done, strings.ReplaceAll(r.Stats, "\n", " "))
+}
+
+// repl runs the in-process interactive prompt. It returns false when the
+// input stream failed (a read error, as opposed to a clean EOF) so main can
+// exit nonzero instead of silently stopping.
+func repl(db *core.Database) bool {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -149,6 +342,11 @@ func repl(db *core.Database) {
 		}
 		fmt.Print("lasql> ")
 	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "lasql: reading input: %v\n", err)
+		return false
+	}
+	return true
 }
 
 func printResult(res *core.Result) {

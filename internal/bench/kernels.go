@@ -250,14 +250,10 @@ func benchPipeline(cfg KernelConfig, w int, disableFusion bool) (float64, error)
 		rows[i] = value.Row{value.Int(int64(i)), value.Int(int64(i % 97))}
 	}
 	tables := benchTables{"pts": cl.ScatterRoundRobin(rows)}
-	meta := &catalog.TableMeta{
-		Name: "pts",
-		Schema: catalog.Schema{Cols: []catalog.Column{
-			{Name: "a", Type: types.TInt},
-			{Name: "b", Type: types.TInt},
-		}},
-		RowCount: int64(cfg.PipeRows),
-	}
+	meta := catalog.NewTableMeta("pts", catalog.Schema{Cols: []catalog.Column{
+		{Name: "a", Type: types.TInt},
+		{Name: "b", Type: types.TInt},
+	}}, int64(cfg.PipeRows))
 	scan := &plan.Scan{Table: meta, Out: plan.Schema{{Name: "a", T: types.TInt}, {Name: "b", T: types.TInt}}}
 	colA := &plan.Col{Idx: 0, Name: "a", T: types.TInt}
 	colB := &plan.Col{Idx: 1, Name: "b", T: types.TInt}

@@ -19,11 +19,7 @@ import (
 func paperSchemaCatalog() (*catalog.Catalog, error) {
 	cat := catalog.New()
 	add := func(name string, rows int64, cols ...catalog.Column) error {
-		return cat.CreateTable(&catalog.TableMeta{
-			Name:     name,
-			Schema:   catalog.Schema{Cols: cols},
-			RowCount: rows,
-		})
+		return cat.CreateTable(catalog.NewTableMeta(name, catalog.Schema{Cols: cols}, rows))
 	}
 	if err := add("r", 100,
 		catalog.Column{Name: "r_rid", Type: types.TInt},

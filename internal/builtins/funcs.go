@@ -28,7 +28,7 @@ import (
 type Builtin struct {
 	Name string
 	Sig  types.Signature
-	Eval func(args []value.Value) (value.Value, error)
+	Eval func(ec *EvalCtx, args []value.Value) (value.Value, error)
 }
 
 // registry maps lower-case names to builtins.
@@ -108,7 +108,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "matrix_multiply",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), matT("b", "c")}, Result: matT("a", "c")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			l, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -117,7 +117,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			out, err := linalg.ParallelMulMat(l, r, 0)
+			out, err := linalg.ParallelMulMat(l, r, ec.Workers())
 			if err != nil {
 				return value.Null(), err
 			}
@@ -127,7 +127,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "matrix_vector_multiply",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), vecT("b")}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -136,7 +136,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			out, err := linalg.ParallelMulVec(m, v, 0)
+			out, err := linalg.ParallelMulVec(m, v, ec.Workers())
 			if err != nil {
 				return value.Null(), err
 			}
@@ -146,7 +146,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "vector_matrix_multiply",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), matT("a", "b")}, Result: vecT("b")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -155,7 +155,7 @@ func init() {
 			if err != nil {
 				return value.Null(), err
 			}
-			out, err := linalg.ParallelVecMul(m, v, 0)
+			out, err := linalg.ParallelVecMul(m, v, ec.Workers())
 			if err != nil {
 				return value.Null(), err
 			}
@@ -165,7 +165,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "inner_product",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), vecT("a")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			a, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -184,7 +184,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "outer_product",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), vecT("b")}, Result: matT("a", "b")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			a, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -201,18 +201,18 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "trans_matrix",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: matT("b", "a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
 			}
-			return value.Matrix(linalg.ParallelTranspose(m, 0)), nil
+			return value.Matrix(linalg.ParallelTranspose(m, ec.Workers())), nil
 		},
 	})
 	mustRegister(&Builtin{
 		Name: "matrix_inverse",
 		Sig:  types.Signature{Params: []types.T{matT("a", "a")}, Result: matT("a", "a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -227,7 +227,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "diag",
 		Sig:  types.Signature{Params: []types.T{matT("a", "a")}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -242,7 +242,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "diag_matrix",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: matT("a", "a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -253,7 +253,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "row_matrix",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TMatrix(types.KnownDim(1), types.VarDim("a"))},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -264,7 +264,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "col_matrix",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TMatrix(types.VarDim("a"), types.KnownDim(1))},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -277,7 +277,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "label_scalar",
 		Sig:  types.Signature{Params: []types.T{types.TDouble, types.TInt}, Result: types.TLabeledScalar},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			d, err := argDouble(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -292,7 +292,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "label_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), types.TInt}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -307,7 +307,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "get_scalar",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), types.TInt}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -325,7 +325,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "get_entry",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), types.TInt, types.TInt}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -347,7 +347,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "get_row",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), types.TInt}, Result: vecT("b")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -365,7 +365,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "get_col",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b"), types.TInt}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -383,7 +383,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "get_label",
 		Sig:  types.Signature{Params: []types.T{types.TAny}, Result: types.TInt},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			switch args[0].Kind {
 			case value.KindLabeledScalar, value.KindVector:
 				return value.Int(args[0].Label), nil
@@ -396,7 +396,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "vector_size",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TInt},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -407,7 +407,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "matrix_rows",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TInt},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -418,7 +418,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "matrix_cols",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TInt},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -431,7 +431,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "sum_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -442,18 +442,18 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "sum_matrix",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
 			}
-			return value.Double(linalg.ParallelSum(m, 0)), nil
+			return value.Double(linalg.ParallelSum(m, ec.Workers())), nil
 		},
 	})
 	mustRegister(&Builtin{
 		Name: "min_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -464,7 +464,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "max_vector",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -475,7 +475,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "arg_min",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TInt},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -486,7 +486,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "arg_max",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TInt},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -497,7 +497,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "trace",
 		Sig:  types.Signature{Params: []types.T{matT("a", "a")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -512,7 +512,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "norm2",
 		Sig:  types.Signature{Params: []types.T{vecT("a")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			v, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -523,7 +523,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "frobenius_norm",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -534,7 +534,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "row_mins",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -545,7 +545,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "row_maxs",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -556,7 +556,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "row_sums",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -567,7 +567,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "col_sums",
 		Sig:  types.Signature{Params: []types.T{matT("a", "b")}, Result: vecT("b")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			m, err := argMat(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -578,7 +578,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "min_pairwise",
 		Sig:  types.Signature{Params: []types.T{vecT("a"), vecT("a")}, Result: vecT("a")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			a, err := argVec(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -599,7 +599,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "identity_matrix",
 		Sig:  types.Signature{Params: []types.T{types.TInt}, Result: matT("", "")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			n, err := argInt(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -613,7 +613,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "zeros_vector",
 		Sig:  types.Signature{Params: []types.T{types.TInt}, Result: vecT("")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			n, err := argInt(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -627,7 +627,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "zeros_matrix",
 		Sig:  types.Signature{Params: []types.T{types.TInt, types.TInt}, Result: matT("", "")},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			r, err := argInt(args, 0)
 			if err != nil {
 				return value.Null(), err
@@ -648,7 +648,7 @@ func init() {
 		mustRegister(&Builtin{
 			Name: name,
 			Sig:  types.Signature{Params: []types.T{types.TDouble}, Result: types.TDouble},
-			Eval: func(args []value.Value) (value.Value, error) {
+			Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 				d, err := argDouble(args, 0)
 				if err != nil {
 					return value.Null(), err
@@ -664,7 +664,7 @@ func init() {
 	mustRegister(&Builtin{
 		Name: "pow",
 		Sig:  types.Signature{Params: []types.T{types.TDouble, types.TDouble}, Result: types.TDouble},
-		Eval: func(args []value.Value) (value.Value, error) {
+		Eval: func(ec *EvalCtx, args []value.Value) (value.Value, error) {
 			a, err := argDouble(args, 0)
 			if err != nil {
 				return value.Null(), err

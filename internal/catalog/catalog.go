@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"relalg/internal/sqlparse"
 	"relalg/internal/types"
@@ -46,7 +47,9 @@ func (s Schema) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// TableMeta describes a stored table.
+// TableMeta describes a stored table. Name, Schema, and PartitionCol are
+// immutable after CreateTable; the statistics are guarded by their own lock
+// because the optimizer reads them while concurrent loads refresh them.
 type TableMeta struct {
 	Name   string
 	Schema Schema
@@ -54,23 +57,63 @@ type TableMeta struct {
 	// PartitionCol names the hash-partitioning column ("" = round-robin).
 	PartitionCol string
 
-	// Statistics. RowCount is exact for stored tables (maintained on
-	// insert/load); DistinctEst maps column name to an estimated number of
+	// Statistics. rowCount is exact for stored tables (maintained on
+	// insert/load); distinctEst maps column name to an estimated number of
 	// distinct values (0 = unknown).
-	RowCount    int64
-	DistinctEst map[string]float64
+	statMu      sync.RWMutex
+	rowCount    int64
+	distinctEst map[string]float64
+}
+
+// NewTableMeta constructs a TableMeta with an initial row-count statistic.
+// Callers that need a partition column set the exported field afterwards.
+func NewTableMeta(name string, schema Schema, rows int64) *TableMeta {
+	return &TableMeta{Name: name, Schema: schema, rowCount: rows, distinctEst: map[string]float64{}}
+}
+
+// RowCount returns the table's cardinality statistic.
+func (m *TableMeta) RowCount() int64 {
+	m.statMu.RLock()
+	defer m.statMu.RUnlock()
+	return m.rowCount
+}
+
+// SetRowCount replaces the cardinality statistic.
+func (m *TableMeta) SetRowCount(n int64) {
+	m.statMu.Lock()
+	m.rowCount = n
+	m.statMu.Unlock()
+}
+
+// AddRowCount adjusts the cardinality statistic by delta.
+func (m *TableMeta) AddRowCount(delta int64) {
+	m.statMu.Lock()
+	m.rowCount += delta
+	m.statMu.Unlock()
 }
 
 // Distinct returns the distinct-value estimate for a column, defaulting to
-// RowCount when unknown (every value unique) and at least 1.
+// the row count when unknown (every value unique) and at least 1.
 func (m *TableMeta) Distinct(col string) float64 {
-	if d, ok := m.DistinctEst[col]; ok && d > 0 {
+	m.statMu.RLock()
+	defer m.statMu.RUnlock()
+	if d, ok := m.distinctEst[col]; ok && d > 0 {
 		return d
 	}
-	if m.RowCount > 0 {
-		return float64(m.RowCount)
+	if m.rowCount > 0 {
+		return float64(m.rowCount)
 	}
 	return 1
+}
+
+// SetDistinct records a distinct-value estimate for a column.
+func (m *TableMeta) SetDistinct(col string, n float64) {
+	m.statMu.Lock()
+	if m.distinctEst == nil {
+		m.distinctEst = map[string]float64{}
+	}
+	m.distinctEst[strings.ToLower(col)] = n
+	m.statMu.Unlock()
 }
 
 // ViewMeta describes a named view: its definition query and optional output
@@ -86,7 +129,16 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*TableMeta
 	views  map[string]*ViewMeta
+
+	// version counts DDL operations (CREATE/DROP of tables and views). Plan
+	// caches key their entries on it: a cached plan is valid only while the
+	// version it was compiled under is still current. Statistics refreshes
+	// (loads) do not bump it — a stale-stats plan is suboptimal, not wrong.
+	version atomic.Int64
 }
+
+// Version returns the current DDL version counter.
+func (c *Catalog) Version() int64 { return c.version.Load() }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -107,11 +159,12 @@ func (c *Catalog) CreateTable(meta *TableMeta) error {
 	if _, ok := c.views[name]; ok {
 		return fmt.Errorf("catalog: view %q already exists", name)
 	}
-	if meta.DistinctEst == nil {
-		meta.DistinctEst = map[string]float64{}
+	if meta.distinctEst == nil {
+		meta.distinctEst = map[string]float64{}
 	}
 	meta.Name = name
 	c.tables[name] = meta
+	c.version.Add(1)
 	return nil
 }
 
@@ -128,6 +181,7 @@ func (c *Catalog) CreateView(v *ViewMeta) error {
 	}
 	v.Name = name
 	c.views[name] = v
+	c.version.Add(1)
 	return nil
 }
 
@@ -154,10 +208,12 @@ func (c *Catalog) Drop(name string) bool {
 	name = strings.ToLower(name)
 	if _, ok := c.tables[name]; ok {
 		delete(c.tables, name)
+		c.version.Add(1)
 		return true
 	}
 	if _, ok := c.views[name]; ok {
 		delete(c.views, name)
+		c.version.Add(1)
 		return true
 	}
 	return false
@@ -165,28 +221,22 @@ func (c *Catalog) Drop(name string) bool {
 
 // SetRowCount updates a table's cardinality statistic.
 func (c *Catalog) SetRowCount(name string, n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t, ok := c.tables[strings.ToLower(name)]; ok {
-		t.RowCount = n
+	if t, ok := c.Table(name); ok {
+		t.SetRowCount(n)
 	}
 }
 
 // AddRowCount adjusts a table's cardinality statistic by delta.
 func (c *Catalog) AddRowCount(name string, delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t, ok := c.tables[strings.ToLower(name)]; ok {
-		t.RowCount += delta
+	if t, ok := c.Table(name); ok {
+		t.AddRowCount(delta)
 	}
 }
 
 // SetDistinct records a distinct-value estimate for a column.
 func (c *Catalog) SetDistinct(table, col string, n float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t, ok := c.tables[strings.ToLower(table)]; ok {
-		t.DistinctEst[strings.ToLower(col)] = n
+	if t, ok := c.Table(table); ok {
+		t.SetDistinct(col, n)
 	}
 }
 

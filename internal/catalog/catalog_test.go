@@ -84,8 +84,8 @@ func TestStats(t *testing.T) {
 	c.SetRowCount("t", 100)
 	c.AddRowCount("t", 50)
 	m, _ := c.Table("t")
-	if m.RowCount != 150 {
-		t.Fatalf("rowcount %d", m.RowCount)
+	if m.RowCount() != 150 {
+		t.Fatalf("rowcount %d", m.RowCount())
 	}
 	// Distinct defaults to row count, floor 1.
 	if d := m.Distinct("a"); d != 150 {
@@ -113,5 +113,46 @@ func TestNameLists(t *testing.T) {
 	vn := c.ViewNames()
 	if len(vn) != 1 || vn[0] != "z" {
 		t.Fatalf("views %v", vn)
+	}
+}
+
+func TestVersion(t *testing.T) {
+	c := New()
+	if c.Version() != 0 {
+		t.Fatalf("fresh catalog version %d", c.Version())
+	}
+	_ = c.CreateTable(meta("t", Column{Name: "a", Type: types.TInt}))
+	v1 := c.Version()
+	if v1 == 0 {
+		t.Fatal("CreateTable did not bump the version")
+	}
+	// Statistics updates are not DDL: cached plans stay valid.
+	c.SetRowCount("t", 100)
+	c.AddRowCount("t", 50)
+	c.SetDistinct("t", "a", 10)
+	if c.Version() != v1 {
+		t.Fatalf("stats update bumped version %d -> %d", v1, c.Version())
+	}
+	_ = c.CreateView(&ViewMeta{Name: "v", Query: &sqlparse.Select{}})
+	v2 := c.Version()
+	if v2 == v1 {
+		t.Fatal("CreateView did not bump the version")
+	}
+	if !c.Drop("t") {
+		t.Fatal("drop failed")
+	}
+	if c.Version() == v2 {
+		t.Fatal("Drop did not bump the version")
+	}
+	// A failed DDL leaves the version alone.
+	before := c.Version()
+	if c.Drop("no_such") {
+		t.Fatal("dropped a missing table")
+	}
+	if err := c.CreateView(&ViewMeta{Name: "v", Query: &sqlparse.Select{}}); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	if c.Version() != before {
+		t.Fatalf("failed DDL bumped version %d -> %d", before, c.Version())
 	}
 }

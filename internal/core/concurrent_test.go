@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"relalg/internal/value"
+)
+
+// concurrentTestDB loads the tables the concurrency tests query.
+func concurrentTestDB(t *testing.T) *Database {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = 2
+	cfg.Cluster.PartitionsPerNode = 2
+	db := Open(cfg)
+	db.MustExec("CREATE TABLE pts (g INTEGER, v DOUBLE)")
+	rows := make([]value.Row, 1200)
+	for i := range rows {
+		rows[i] = value.Row{value.Int(int64(i % 53)), value.Double(float64(i) * 0.25)}
+	}
+	if err := db.LoadTable("pts", rows); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE vecs (id INTEGER, vec VECTOR[4])")
+	vrows := make([]value.Row, 40)
+	for i := range vrows {
+		vrows[i] = value.Row{value.Int(int64(i)), VectorValue(
+			float64(i%7), float64((i+1)%5), float64((i+2)%3), float64(i%11))}
+	}
+	if err := db.LoadTable("vecs", vrows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// resultText renders a result's rows via EncodeRows so the comparison is
+// bit-exact, not just print-equal.
+func resultText(res *Result) string {
+	return res.Schema.String() + "\n" + string(value.EncodeRows(res.Rows))
+}
+
+// TestConcurrentMixedQueries drives many goroutines through db.Query on one
+// shared Database: every caller must get results bit-identical to the serial
+// run, with no data races (the gate runs this package under -race).
+func TestConcurrentMixedQueries(t *testing.T) {
+	db := concurrentTestDB(t)
+	queries := []string{
+		"SELECT g, SUM(v) AS total FROM pts GROUP BY g ORDER BY g",
+		"SELECT COUNT(*) FROM pts WHERE v > 100",
+		"SELECT SUM(outer_product(vec, vec)) FROM vecs",
+		"SELECT p.g, COUNT(*) FROM pts p, vecs w WHERE p.g = w.id GROUP BY p.g ORDER BY p.g",
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		want[i] = resultText(res)
+	}
+
+	const callers = 8
+	const rounds = 3
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stagger the starting query so callers overlap on
+				// different statements.
+				for k := 0; k < len(queries); k++ {
+					i := (c + k) % len(queries)
+					res, err := db.Query(queries[i])
+					if err != nil {
+						errs <- fmt.Errorf("caller %d %q: %w", c, queries[i], err)
+						return
+					}
+					if got := resultText(res); got != want[i] {
+						errs <- fmt.Errorf("caller %d %q: results differ from serial run", c, queries[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -64,10 +64,11 @@ type Database struct {
 }
 
 // Open creates an empty database.
+//
+// Open no longer touches the process-wide linalg worker default: the kernel
+// budget flows per query through exec.Context.KernelWorkers, so two Opens in
+// one process cannot stomp each other's parallelism.
 func Open(cfg Config) *Database {
-	// Budget per-kernel parallelism against the partition fan-out so that
-	// builtins called inside cluster.Parallel don't oversubscribe the machine.
-	linalg.SetDefaultWorkers(cfg.Cluster.KernelWorkers())
 	return &Database{
 		cfg:    cfg,
 		cat:    catalog.New(),
@@ -98,7 +99,7 @@ func (db *Database) Run(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.runStmt(stmt)
+	return db.runStmt(stmt, Resources{})
 }
 
 // RunScript executes a semicolon-separated script, returning the results of
@@ -110,7 +111,7 @@ func (db *Database) RunScript(sql string) ([]*Result, error) {
 	}
 	var out []*Result
 	for _, stmt := range stmts {
-		res, err := db.runStmt(stmt)
+		res, err := db.runStmt(stmt, Resources{})
 		if err != nil {
 			return out, err
 		}
@@ -146,12 +147,52 @@ func (db *Database) Query(sql string) (*Result, error) {
 	return res, nil
 }
 
-func (db *Database) runStmt(stmt sqlparse.Statement) (*Result, error) {
+// Resources is a per-query resource lease. The serving layer arbitrates the
+// machine across concurrent queries and hands each one a lease; the zero
+// value inherits the database configuration (the single-caller behaviour).
+type Resources struct {
+	// MemoryBudgetBytes caps the query's in-memory working set before
+	// operators spill. 0 inherits cluster.Config.MemoryBudgetBytes; a
+	// negative value means explicitly unlimited (never spill).
+	MemoryBudgetBytes int64
+	// KernelWorkers is the query's goroutine budget for parallel linalg
+	// kernels. 0 inherits cluster.Config.KernelWorkers().
+	KernelWorkers int
+}
+
+// memBudget resolves the lease's spill budget against the config.
+func (db *Database) memBudget(r Resources) int64 {
+	switch {
+	case r.MemoryBudgetBytes < 0:
+		return 0 // spill.NewManager treats <= 0 as "no budget"
+	case r.MemoryBudgetBytes == 0:
+		return db.cfg.Cluster.MemoryBudgetBytes
+	default:
+		return r.MemoryBudgetBytes
+	}
+}
+
+// kernelWorkers resolves the lease's kernel budget against the config.
+func (db *Database) kernelWorkers(r Resources) int {
+	if r.KernelWorkers > 0 {
+		return r.KernelWorkers
+	}
+	return db.cfg.Cluster.KernelWorkers()
+}
+
+// RunParsed executes one already-parsed statement under a resource lease.
+// It is the serving layer's entry point: parsing happened at the protocol
+// boundary and the lease came from the server's admission controller.
+func (db *Database) RunParsed(stmt sqlparse.Statement, rsrc Resources) (*Result, error) {
+	return db.runStmt(stmt, rsrc)
+}
+
+func (db *Database) runStmt(stmt sqlparse.Statement, rsrc Resources) (*Result, error) {
 	switch x := stmt.(type) {
 	case *sqlparse.CreateTable:
 		return nil, db.createTable(x)
 	case *sqlparse.CreateTableAs:
-		return nil, db.createTableAs(x)
+		return nil, db.createTableAs(x, rsrc)
 	case *sqlparse.CreateView:
 		return nil, db.createView(x)
 	case *sqlparse.Insert:
@@ -159,7 +200,7 @@ func (db *Database) runStmt(stmt sqlparse.Statement) (*Result, error) {
 	case *sqlparse.DropTable:
 		return nil, db.drop(x)
 	case *sqlparse.Select:
-		return db.query(x)
+		return db.query(x, rsrc)
 	case *sqlparse.Explain:
 		sel, ok := x.Stmt.(*sqlparse.Select)
 		if !ok {
@@ -170,7 +211,7 @@ func (db *Database) runStmt(stmt sqlparse.Statement) (*Result, error) {
 			return nil, err
 		}
 		if x.Analyze {
-			res, err := db.query(sel)
+			res, err := db.query(sel, rsrc)
 			if err != nil {
 				return nil, err
 			}
@@ -213,8 +254,8 @@ func (db *Database) createTable(ct *sqlparse.CreateTable) error {
 
 // createTableAs materializes a query result as a new table (CREATE TABLE
 // ... AS SELECT), inferring the schema from the query's output types.
-func (db *Database) createTableAs(ct *sqlparse.CreateTableAs) error {
-	res, err := db.query(ct.Query)
+func (db *Database) createTableAs(ct *sqlparse.CreateTableAs, rsrc Resources) error {
+	res, err := db.query(ct.Query, rsrc)
 	if err != nil {
 		return err
 	}
@@ -273,7 +314,7 @@ func (db *Database) insert(ins *sqlparse.Insert) error {
 			if err != nil {
 				return err
 			}
-			v, err := compiled.Eval(value.Row{})
+			v, err := compiled.Eval(nil, value.Row{})
 			if err != nil {
 				return err
 			}
@@ -482,19 +523,30 @@ func (db *Database) Explain(sql string) (string, error) {
 	return db.explain(sel)
 }
 
-func (db *Database) query(sel *sqlparse.Select) (res *Result, err error) {
+func (db *Database) query(sel *sqlparse.Select, rsrc Resources) (*Result, error) {
 	optimized, err := db.Plan(sel)
 	if err != nil {
 		return nil, err
 	}
+	// The single-caller path may reset the shared tuple budget per statement;
+	// the serving layer goes through ExecutePlanned, where concurrent queries
+	// share whatever budget the cluster currently has.
 	db.cl.ResetBudget()
+	return db.ExecutePlanned(optimized, rsrc)
+}
+
+// ExecutePlanned executes an already-optimized plan under a resource lease.
+// Plans are immutable during execution, so the serving layer's plan cache
+// may hand the same node tree to many concurrent callers. Unlike Run, it
+// never resets the cluster-wide tuple budget.
+func (db *Database) ExecutePlanned(optimized plan.Node, rsrc Resources) (res *Result, err error) {
 	before := db.cl.Stats().Snapshot()
 	timings := exec.NewTimings()
 	// One spill manager (and so one temp directory and one memory budget)
 	// covers the whole query, subqueries included; its Close at return sweeps
 	// every run file the operators created.
 	stats := db.cl.Stats()
-	mgr := spill.NewManager(db.cfg.Cluster.MemoryBudgetBytes, spill.Hooks{
+	mgr := spill.NewManager(db.memBudget(rsrc), spill.Hooks{
 		RunSpilled: func(bytes int64) {
 			stats.SpillEvents.Add(1)
 			stats.BytesSpilled.Add(bytes)
@@ -514,6 +566,7 @@ func (db *Database) query(sel *sqlparse.Select) (res *Result, err error) {
 		Spill:                 mgr,
 		DisableAggFusion:      db.cfg.DisableAggFusion,
 		DisablePipelineFusion: db.cfg.DisablePipelineFusion,
+		KernelWorkers:         db.kernelWorkers(rsrc),
 	}
 	resolved, err := db.resolveSubqueries(ctx, optimized)
 	if err != nil {

@@ -529,8 +529,8 @@ func TestDistinctStatsMaintained(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta, _ := db.Catalog().Table("t")
-	if meta.RowCount != 100 {
-		t.Fatalf("rowcount %d", meta.RowCount)
+	if meta.RowCount() != 100 {
+		t.Fatalf("rowcount %d", meta.RowCount())
 	}
 	if d := meta.Distinct("g"); d != 10 {
 		t.Fatalf("distinct(g) = %g", d)
@@ -550,7 +550,7 @@ func TestCreateTableAs(t *testing.T) {
 		t.Fatalf("rows %v", res.Rows)
 	}
 	meta, ok := db.Catalog().Table("agg")
-	if !ok || meta.RowCount != 2 {
+	if !ok || meta.RowCount() != 2 {
 		t.Fatalf("meta %+v", meta)
 	}
 	if meta.Schema.String() != "(g INTEGER, total DOUBLE)" {

@@ -34,7 +34,7 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	stopLocal := ctx.Timings.Track("aggregate")
 	locals := make([]map[uint64][]*aggGroup, len(in.Parts))
 	err = ctx.Cluster.ParallelTasks("aggregate", taskObs(ctx), func(part, attempt int) (func() error, error) {
-		pa := &partAgg{ctx: ctx, a: a, part: part, attempt: attempt}
+		pa := &partAgg{ctx: ctx, ec: ctx.EvalCtx(), a: a, part: part, attempt: attempt}
 		groups, err := pa.aggregate(in.Parts[part])
 		if err != nil {
 			return nil, err
@@ -226,10 +226,10 @@ func newStates(aggs []plan.AggCall, fuse bool) []builtins.AggState {
 	return out
 }
 
-func stepStates(states []builtins.AggState, aggs []plan.AggCall, row value.Row) error {
+func stepStates(ec *plan.EvalCtx, states []builtins.AggState, aggs []plan.AggCall, row value.Row) error {
 	for i, a := range aggs {
 		if fs, ok := states[i].(*fusedSumState); ok {
-			if err := fs.stepFused(row); err != nil {
+			if err := fs.stepFused(ec, row); err != nil {
 				return err
 			}
 			continue
@@ -240,7 +240,7 @@ func stepStates(states []builtins.AggState, aggs []plan.AggCall, row value.Row) 
 			v = value.Int(1)
 		} else {
 			var err error
-			v, err = a.Input.Eval(row)
+			v, err = a.Input.Eval(ec, row)
 			if err != nil {
 				return err
 			}
@@ -265,6 +265,7 @@ const aggSpillFanout = 16
 // finalized values (avg) cannot be re-merged.
 type partAgg struct {
 	ctx     *Context
+	ec      *plan.EvalCtx
 	a       *plan.Agg
 	part    int
 	attempt int // owning task attempt; keys spill write-fault draws
@@ -323,7 +324,7 @@ func (pa *partAgg) build(next rowIter, res *spill.Reservation, depth int) (map[u
 		if !ok {
 			break
 		}
-		kv, err := evalKeys(pa.a.GroupBy, r)
+		kv, err := evalKeys(pa.ec, pa.a.GroupBy, r)
 		if err != nil {
 			abortAll()
 			return nil, err
@@ -374,7 +375,7 @@ func (pa *partAgg) build(next rowIter, res *spill.Reservation, depth int) (map[u
 			g = &aggGroup{keys: kv, states: newStates(pa.a.Aggs, !pa.ctx.DisableAggFusion)}
 			groups[h] = append(groups[h], g)
 		}
-		if err := stepStates(g.states, pa.a.Aggs, r); err != nil {
+		if err := stepStates(pa.ec, g.states, pa.a.Aggs, r); err != nil {
 			abortAll()
 			return nil, err
 		}

@@ -148,6 +148,21 @@ type Context struct {
 	// behaviour); when enabled, the hash join, hash aggregation, and sort go
 	// out-of-core under pressure instead of growing without bound.
 	Spill *spill.Manager
+	// KernelWorkers is this query's goroutine budget for parallel linalg
+	// kernels. 0 falls back to the deprecated process-wide default; the
+	// serving layer sets an explicit lease so concurrent queries share the
+	// machine instead of each assuming exclusive use.
+	KernelWorkers int
+}
+
+// EvalCtx returns the expression-evaluation context for this query. The
+// context is immutable, so one value may be shared by every goroutine of the
+// query; callers capture it once per operator rather than per row.
+func (c *Context) EvalCtx() *plan.EvalCtx {
+	if c.KernelWorkers == 0 {
+		return nil
+	}
+	return &plan.EvalCtx{KernelWorkers: c.KernelWorkers}
 }
 
 // spillEnabled reports whether a memory budget governs this query.
@@ -283,12 +298,13 @@ func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
 	}
 	defer ctx.Timings.Track("project")()
 	out := make([][]value.Row, len(in.Parts))
+	ec := ctx.EvalCtx()
 	err = ctx.Cluster.ParallelTasks("project", taskObs(ctx), func(part, _ int) (func() error, error) {
 		rows := make([]value.Row, 0, len(in.Parts[part]))
 		for _, r := range in.Parts[part] {
 			nr := make(value.Row, len(p.Exprs))
 			for i, e := range p.Exprs {
-				v, err := e.Eval(r)
+				v, err := e.Eval(ec, r)
 				if err != nil {
 					return nil, err
 				}
@@ -320,10 +336,11 @@ func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
 	}
 	defer ctx.Timings.Track("filter")()
 	out := make([][]value.Row, len(in.Parts))
+	ec := ctx.EvalCtx()
 	err = ctx.Cluster.ParallelTasks("filter", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var rows []value.Row
 		for _, r := range in.Parts[part] {
-			v, err := f.Pred.Eval(r)
+			v, err := f.Pred.Eval(ec, r)
 			if err != nil {
 				return nil, err
 			}

@@ -29,7 +29,7 @@ func testCtx(tables memSource) *Context {
 }
 
 func scanNode(name string, rows int64, cols ...catalog.Column) *plan.Scan {
-	meta := &catalog.TableMeta{Name: name, Schema: catalog.Schema{Cols: cols}, RowCount: rows}
+	meta := catalog.NewTableMeta(name, catalog.Schema{Cols: cols}, rows)
 	out := make(plan.Schema, len(cols))
 	for i, c := range cols {
 		out[i] = plan.Field{Name: c.Name, T: c.Type}

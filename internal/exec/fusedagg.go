@@ -54,12 +54,12 @@ type fusedSumState struct {
 }
 
 // stepFused accumulates one input row directly into the buffer.
-func (s *fusedSumState) stepFused(row value.Row) error {
-	a, err := s.args[0].Eval(row)
+func (s *fusedSumState) stepFused(ec *plan.EvalCtx, row value.Row) error {
+	a, err := s.args[0].Eval(ec, row)
 	if err != nil {
 		return err
 	}
-	b, err := s.args[1].Eval(row)
+	b, err := s.args[1].Eval(ec, row)
 	if err != nil {
 		return err
 	}

@@ -61,7 +61,7 @@ func TestFusedOuterSumMatchesUnfused(t *testing.T) {
 		t.Fatalf("state is %T, want fused", states[0])
 	}
 	for _, r := range rows {
-		if err := stepStates(states, []plan.AggCall{call}, r); err != nil {
+		if err := stepStates(nil, states, []plan.AggCall{call}, r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -72,7 +72,7 @@ func TestFusedOuterSumMatchesUnfused(t *testing.T) {
 	// Unfused reference.
 	ref := call.Spec.New()
 	for _, r := range rows {
-		v, err := call.Input.Eval(r)
+		v, err := call.Input.Eval(nil, r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,8 +105,8 @@ func TestFusedSumMerge(t *testing.T) {
 	call := outerSumCall(t)
 	a := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
 	b := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
-	_ = a.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 0))})
-	_ = b.stepFused(value.Row{value.Vector(linalg.VectorOf(0, 2))})
+	_ = a.stepFused(nil, value.Row{value.Vector(linalg.VectorOf(1, 0))})
+	_ = b.stepFused(nil, value.Row{value.Vector(linalg.VectorOf(0, 2))})
 	if err := a.Merge(b); err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +133,13 @@ func TestFusedSumMerge(t *testing.T) {
 func TestFusedSumNullInputsSkipped(t *testing.T) {
 	call := outerSumCall(t)
 	st := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
-	if err := st.stepFused(value.Row{value.Null()}); err != nil {
+	if err := st.stepFused(nil, value.Row{value.Null()}); err != nil {
 		t.Fatal(err)
 	}
 	if st.count != 0 {
 		t.Fatal("null row counted")
 	}
-	if err := st.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 1))}); err != nil {
+	if err := st.stepFused(nil, value.Row{value.Vector(linalg.VectorOf(1, 1))}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := st.Final()
@@ -152,8 +152,8 @@ func TestFusedSumNullInputsSkipped(t *testing.T) {
 func TestFusedSumShapeError(t *testing.T) {
 	call := outerSumCall(t)
 	st := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
-	_ = st.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 2))})
-	if err := st.stepFused(value.Row{value.Vector(linalg.VectorOf(1, 2, 3))}); err == nil {
+	_ = st.stepFused(nil, value.Row{value.Vector(linalg.VectorOf(1, 2))})
+	if err := st.stepFused(nil, value.Row{value.Vector(linalg.VectorOf(1, 2, 3))}); err == nil {
 		t.Fatal("shape mismatch accepted")
 	}
 }
@@ -246,10 +246,10 @@ func TestFusedMatMulSum(t *testing.T) {
 	st := newStates([]plan.AggCall{call}, true)[0].(*fusedSumState)
 	id := linalg.Identity(2)
 	two := id.Scale(2)
-	if err := st.stepFused(value.Row{value.Matrix(id), value.Matrix(two)}); err != nil {
+	if err := st.stepFused(nil, value.Row{value.Matrix(id), value.Matrix(two)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.stepFused(value.Row{value.Matrix(two), value.Matrix(two)}); err != nil {
+	if err := st.stepFused(nil, value.Row{value.Matrix(two), value.Matrix(two)}); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := st.Final()
@@ -257,7 +257,7 @@ func TestFusedMatMulSum(t *testing.T) {
 		t.Fatalf("fused matmul sum = %v", got.Mat)
 	}
 	// Kind errors.
-	if err := st.stepFused(value.Row{value.Int(1), value.Matrix(id)}); err == nil {
+	if err := st.stepFused(nil, value.Row{value.Int(1), value.Matrix(id)}); err == nil {
 		t.Fatal("non-matrix operand accepted")
 	}
 }

@@ -32,10 +32,10 @@ func sameKeys(a, b []string) bool {
 }
 
 // evalKeys evaluates key expressions against a row.
-func evalKeys(keys []plan.Expr, row value.Row) ([]value.Value, error) {
+func evalKeys(ec *plan.EvalCtx, keys []plan.Expr, row value.Row) ([]value.Value, error) {
 	out := make([]value.Value, len(keys))
 	for i, k := range keys {
-		v, err := k.Eval(row)
+		v, err := k.Eval(ec, row)
 		if err != nil {
 			return nil, err
 		}
@@ -84,13 +84,13 @@ type projectSpec struct {
 }
 
 // emit applies the fused projection (if any) to a concatenated row.
-func (p *projectSpec) emit(concat value.Row) (value.Row, error) {
+func (p *projectSpec) emit(ec *plan.EvalCtx, concat value.Row) (value.Row, error) {
 	if p == nil {
 		return concat, nil
 	}
 	out := make(value.Row, len(p.exprs))
 	for i, e := range p.exprs {
-		v, err := e.Eval(concat)
+		v, err := e.Eval(ec, concat)
 		if err != nil {
 			return nil, err
 		}
@@ -160,6 +160,7 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 		}
 		pj := &partJoin{
 			ctx:       ctx,
+			ec:        ctx.EvalCtx(),
 			j:         j,
 			proj:      proj,
 			buildKeys: buildKeys,
@@ -201,6 +202,7 @@ type joinBucket struct {
 // working set.
 type partJoin struct {
 	ctx       *Context
+	ec        *plan.EvalCtx
 	j         *plan.Join
 	proj      *projectSpec
 	buildKeys []plan.Expr
@@ -250,7 +252,7 @@ func (pj *partJoin) run(buildRows, probeRows []value.Row) error {
 func (pj *partJoin) buildTable(rows []value.Row, res *spill.Reservation, force bool) (map[uint64][]joinBucket, bool, error) {
 	table := make(map[uint64][]joinBucket, len(rows))
 	for _, r := range rows {
-		kv, err := evalKeys(pj.buildKeys, r)
+		kv, err := evalKeys(pj.ec, pj.buildKeys, r)
 		if err != nil {
 			return nil, false, err
 		}
@@ -280,7 +282,7 @@ func (pj *partJoin) probeSlice(table map[uint64][]joinBucket, probeRows []value.
 
 // probeRow emits the join output for one probe row.
 func (pj *partJoin) probeRow(table map[uint64][]joinBucket, pr value.Row) error {
-	kv, err := evalKeys(pj.probeKeys, pr)
+	kv, err := evalKeys(pj.ec, pj.probeKeys, pr)
 	if err != nil {
 		return err
 	}
@@ -298,7 +300,7 @@ func (pj *partJoin) probeRow(table map[uint64][]joinBucket, pr value.Row) error 
 		}
 		keep := true
 		for _, res := range pj.j.Residual {
-			v, err := res.Eval(nr)
+			v, err := res.Eval(pj.ec, nr)
 			if err != nil {
 				return err
 			}
@@ -308,7 +310,7 @@ func (pj *partJoin) probeRow(table map[uint64][]joinBucket, pr value.Row) error 
 			}
 		}
 		if keep {
-			emitted, err := pj.proj.emit(nr)
+			emitted, err := pj.proj.emit(pj.ec, nr)
 			if err != nil {
 				return err
 			}
@@ -455,7 +457,7 @@ func (pj *partJoin) spillSide(label string, keys []plan.Expr, rows []value.Row, 
 		writers[i] = w
 	}
 	for _, r := range rows {
-		kv, err := evalKeys(keys, r)
+		kv, err := evalKeys(pj.ec, keys, r)
 		if err != nil {
 			abortAll()
 			return nil, err
@@ -578,8 +580,9 @@ func shuffleByKeys(ctx *Context, parts [][]value.Row, keys []plan.Expr) ([][]val
 		mu      sync.Mutex
 		evalErr error
 	)
+	ec := ctx.EvalCtx()
 	out, err := ctx.Cluster.ShuffleByObs(taskObs(ctx), parts, func(r value.Row) int {
-		kv, err := evalKeys(keys, r)
+		kv, err := evalKeys(ec, keys, r)
 		if err != nil {
 			mu.Lock()
 			if evalErr == nil {
@@ -630,6 +633,7 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 	}
 
 	out := make([][]value.Row, ctx.Cluster.Partitions())
+	ec := ctx.EvalCtx()
 	err = ctx.Cluster.ParallelTasks("cross join", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var rows []value.Row
 		charge := newCharger(ctx, "cross join")
@@ -645,7 +649,7 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 				}
 				keep := true
 				for _, res := range c.Residual {
-					v, err := res.Eval(nr)
+					v, err := res.Eval(ec, nr)
 					if err != nil {
 						return nil, err
 					}
@@ -655,7 +659,7 @@ func runCrossWith(ctx *Context, c *plan.Cross, proj *projectSpec) (*Relation, er
 					}
 				}
 				if keep {
-					emitted, err := proj.emit(nr)
+					emitted, err := proj.emit(ec, nr)
 					if err != nil {
 						return nil, err
 					}

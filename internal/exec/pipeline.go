@@ -69,13 +69,14 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 		return nil, err
 	}
 	out := make([][]value.Row, len(parts))
+	ec := ctx.EvalCtx()
 	err = ctx.Cluster.ParallelTasks("pipeline", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var arena rowArena
 		var rows []value.Row
 		for _, r := range parts[part] {
 			keep := true
 			for _, pred := range sp.Filters {
-				v, err := pred.Eval(r)
+				v, err := pred.Eval(ec, r)
 				if err != nil {
 					return nil, err
 				}
@@ -93,7 +94,7 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 			}
 			nr := arena.alloc(len(sp.Exprs))
 			for i, e := range sp.Exprs {
-				v, err := e.Eval(r)
+				v, err := e.Eval(ec, r)
 				if err != nil {
 					return nil, err
 				}

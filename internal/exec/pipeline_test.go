@@ -150,15 +150,11 @@ func TestPipelineHashKeyRules(t *testing.T) {
 	tables := memSource{}
 	ctx := testCtx(tables)
 	tables["t"] = intTable(ctx, 20)
-	meta := &catalog.TableMeta{
-		Name: "t",
-		Schema: catalog.Schema{Cols: []catalog.Column{
-			{Name: "a", Type: types.TInt},
-			{Name: "b", Type: types.TInt},
-		}},
-		RowCount:     20,
-		PartitionCol: "a",
-	}
+	meta := catalog.NewTableMeta("t", catalog.Schema{Cols: []catalog.Column{
+		{Name: "a", Type: types.TInt},
+		{Name: "b", Type: types.TInt},
+	}}, 20)
+	meta.PartitionCol = "a"
 	s := &plan.Scan{Table: meta, Out: plan.Schema{{Name: "a", T: types.TInt}, {Name: "b", T: types.TInt}}}
 	pred := &plan.Binary{Op: "<", Kind: plan.BinCompare, L: col(0, types.TInt), R: &plan.Const{V: value.Int(10), T: types.TInt}, T: types.TBool}
 

@@ -18,6 +18,12 @@ var kernelWorkers atomic.Int64
 
 // SetDefaultWorkers sets the package-wide kernel worker budget. n <= 0
 // restores the GOMAXPROCS default.
+//
+// Deprecated: the budget is process-global, so two engines in one process
+// stomp each other's parallelism. The engine now threads a per-query budget
+// into every kernel call (builtins.EvalCtx / exec.Context.KernelWorkers);
+// this setter remains only as a fallback default for standalone library use
+// and sets nothing the engine itself relies on.
 func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0

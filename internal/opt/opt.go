@@ -157,7 +157,7 @@ func (o *Optimizer) colWidth(t types.T) float64 {
 func EstimateRows(n plan.Node) float64 {
 	switch x := n.(type) {
 	case *plan.Scan:
-		return math.Max(1, float64(x.Table.RowCount))
+		return math.Max(1, float64(x.Table.RowCount()))
 	case *plan.Filter:
 		return math.Max(1, EstimateRows(x.Input)/3)
 	case *plan.Project:

@@ -21,7 +21,7 @@ func paperCatalog(t *testing.T) *catalog.Catalog {
 	cat := catalog.New()
 	add := func(name string, rows int64, cols ...catalog.Column) {
 		t.Helper()
-		meta := &catalog.TableMeta{Name: name, Schema: catalog.Schema{Cols: cols}, RowCount: rows}
+		meta := catalog.NewTableMeta(name, catalog.Schema{Cols: cols}, rows)
 		if err := cat.CreateTable(meta); err != nil {
 			t.Fatal(err)
 		}
@@ -147,21 +147,14 @@ func TestFilterPushdown(t *testing.T) {
 
 func TestJoinKeysOnExpressions(t *testing.T) {
 	cat := catalog.New()
-	if err := cat.CreateTable(&catalog.TableMeta{
-		Name: "x",
-		Schema: catalog.Schema{Cols: []catalog.Column{
-			{Name: "id", Type: types.TInt},
-			{Name: "v", Type: types.TDouble},
-		}},
-		RowCount: 1000,
-	}); err != nil {
+	if err := cat.CreateTable(catalog.NewTableMeta("x", catalog.Schema{Cols: []catalog.Column{
+		{Name: "id", Type: types.TInt},
+		{Name: "v", Type: types.TDouble},
+	}}, 1000)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cat.CreateTable(&catalog.TableMeta{
-		Name:     "blocks",
-		Schema:   catalog.Schema{Cols: []catalog.Column{{Name: "mi", Type: types.TInt}}},
-		RowCount: 10,
-	}); err != nil {
+	if err := cat.CreateTable(catalog.NewTableMeta("blocks",
+		catalog.Schema{Cols: []catalog.Column{{Name: "mi", Type: types.TInt}}}, 10)); err != nil {
 		t.Fatal(err)
 	}
 	// The paper's blocking join: x.id/1000 = ind.mi.

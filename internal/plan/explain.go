@@ -20,7 +20,7 @@ func explain(b *strings.Builder, n Node, depth int) {
 		if x.Alias != "" && x.Alias != x.Table.Name {
 			fmt.Fprintf(b, " AS %s", x.Alias)
 		}
-		fmt.Fprintf(b, " rows=%d\n", x.Table.RowCount)
+		fmt.Fprintf(b, " rows=%d\n", x.Table.RowCount())
 	case *Project:
 		exprs := make([]string, len(x.Exprs))
 		for i, e := range x.Exprs {

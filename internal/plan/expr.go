@@ -12,12 +12,18 @@ import (
 	"relalg/internal/value"
 )
 
+// EvalCtx is the per-query evaluation context threaded into every Eval.
+// It aliases builtins.EvalCtx so the executor can hand one object to both
+// expression trees and direct builtin calls; nil is always valid.
+type EvalCtx = builtins.EvalCtx
+
 // Expr is a type-checked expression evaluated against a row of its input
-// relation. Expressions are pure, so the optimizer may move, duplicate, and
-// pre-evaluate them freely.
+// relation. Expressions are pure and the context is read-only, so the
+// optimizer may move, duplicate, and pre-evaluate them freely, and one plan
+// may be evaluated by many queries concurrently.
 type Expr interface {
 	Type() types.T
-	Eval(row value.Row) (value.Value, error)
+	Eval(ec *EvalCtx, row value.Row) (value.Value, error)
 	String() string
 	// Walk visits this node and all children.
 	Walk(fn func(Expr))
@@ -34,7 +40,7 @@ type Col struct {
 func (c *Col) Type() types.T { return c.T }
 
 // Eval implements Expr.
-func (c *Col) Eval(row value.Row) (value.Value, error) {
+func (c *Col) Eval(_ *EvalCtx, row value.Row) (value.Value, error) {
 	if c.Idx < 0 || c.Idx >= len(row) {
 		return value.Null(), fmt.Errorf("plan: column index %d out of range for row of %d", c.Idx, len(row))
 	}
@@ -54,7 +60,7 @@ type Const struct {
 func (c *Const) Type() types.T { return c.T }
 
 // Eval implements Expr.
-func (c *Const) Eval(value.Row) (value.Value, error) { return c.V, nil }
+func (c *Const) Eval(*EvalCtx, value.Row) (value.Value, error) { return c.V, nil }
 
 func (c *Const) String() string     { return c.V.String() }
 func (c *Const) Walk(fn func(Expr)) { fn(c) }
@@ -84,12 +90,12 @@ type Binary struct {
 func (b *Binary) Type() types.T { return b.T }
 
 // Eval implements Expr.
-func (b *Binary) Eval(row value.Row) (value.Value, error) {
-	l, err := b.L.Eval(row)
+func (b *Binary) Eval(ec *EvalCtx, row value.Row) (value.Value, error) {
+	l, err := b.L.Eval(ec, row)
 	if err != nil {
 		return value.Null(), err
 	}
-	r, err := b.R.Eval(row)
+	r, err := b.R.Eval(ec, row)
 	if err != nil {
 		return value.Null(), err
 	}
@@ -98,7 +104,7 @@ func (b *Binary) Eval(row value.Row) (value.Value, error) {
 		if l.IsNull() || r.IsNull() {
 			return value.Null(), nil
 		}
-		return builtins.Arith(b.Op, l, r)
+		return builtins.Arith(ec, b.Op, l, r)
 	case BinCompare:
 		if l.IsNull() || r.IsNull() {
 			return value.Bool(false), nil
@@ -134,8 +140,8 @@ type Not struct {
 func (n *Not) Type() types.T { return types.TBool }
 
 // Eval implements Expr.
-func (n *Not) Eval(row value.Row) (value.Value, error) {
-	v, err := n.E.Eval(row)
+func (n *Not) Eval(ec *EvalCtx, row value.Row) (value.Value, error) {
+	v, err := n.E.Eval(ec, row)
 	if err != nil {
 		return value.Null(), err
 	}
@@ -156,8 +162,8 @@ type Neg struct {
 func (n *Neg) Type() types.T { return n.T }
 
 // Eval implements Expr.
-func (n *Neg) Eval(row value.Row) (value.Value, error) {
-	v, err := n.E.Eval(row)
+func (n *Neg) Eval(ec *EvalCtx, row value.Row) (value.Value, error) {
+	v, err := n.E.Eval(ec, row)
 	if err != nil || v.IsNull() {
 		return value.Null(), err
 	}
@@ -188,10 +194,10 @@ type Call struct {
 func (c *Call) Type() types.T { return c.T }
 
 // Eval implements Expr.
-func (c *Call) Eval(row value.Row) (value.Value, error) {
+func (c *Call) Eval(ec *EvalCtx, row value.Row) (value.Value, error) {
 	args := make([]value.Value, len(c.Args))
 	for i, a := range c.Args {
-		v, err := a.Eval(row)
+		v, err := a.Eval(ec, row)
 		if err != nil {
 			return value.Null(), err
 		}
@@ -200,7 +206,7 @@ func (c *Call) Eval(row value.Row) (value.Value, error) {
 		}
 		args[i] = v
 	}
-	return c.Fn.Eval(args)
+	return c.Fn.Eval(ec, args)
 }
 
 func (c *Call) String() string {
@@ -234,7 +240,7 @@ type ScalarSubquery struct {
 func (s *ScalarSubquery) Type() types.T { return s.T }
 
 // Eval implements Expr.
-func (s *ScalarSubquery) Eval(value.Row) (value.Value, error) {
+func (s *ScalarSubquery) Eval(*EvalCtx, value.Row) (value.Value, error) {
 	return value.Null(), fmt.Errorf("plan: unresolved scalar subquery reached execution")
 }
 

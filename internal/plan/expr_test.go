@@ -18,7 +18,7 @@ func boolConst(b bool) *Const {
 
 func evalOn(t *testing.T, e Expr, row value.Row) value.Value {
 	t.Helper()
-	v, err := e.Eval(row)
+	v, err := e.Eval(nil, row)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestColEval(t *testing.T) {
 	if v := evalOn(t, intCol(0), row); v.I != 7 {
 		t.Fatalf("col eval %v", v)
 	}
-	if _, err := intCol(5).Eval(row); err == nil {
+	if _, err := intCol(5).Eval(nil, row); err == nil {
 		t.Fatal("out-of-range column accepted")
 	}
 	if intCol(0).Type() != types.TInt {
@@ -99,7 +99,7 @@ func TestNotAndNeg(t *testing.T) {
 		t.Fatalf("-NULL = %v", v)
 	}
 	// Negating a string is a runtime error.
-	if _, err := (&Neg{E: &Col{Idx: 0, T: types.TString}, T: types.TDouble}).Eval(value.Row{value.String_("x")}); err == nil {
+	if _, err := (&Neg{E: &Col{Idx: 0, T: types.TString}, T: types.TDouble}).Eval(nil, value.Row{value.String_("x")}); err == nil {
 		t.Fatal("negated a string")
 	}
 }
@@ -158,7 +158,7 @@ func TestExprStrings(t *testing.T) {
 }
 
 func TestExplainCoversAllNodes(t *testing.T) {
-	meta := &catalog.TableMeta{Name: "t", Schema: catalog.Schema{Cols: []catalog.Column{{Name: "a", Type: types.TInt}}}, RowCount: 5}
+	meta := catalog.NewTableMeta("t", catalog.Schema{Cols: []catalog.Column{{Name: "a", Type: types.TInt}}}, 5)
 	scan := &Scan{Table: meta, Alias: "x", Out: Schema{{Name: "a", T: types.TInt}}}
 	spec, _ := builtins.LookupAgg("count")
 	tree := &Limit{

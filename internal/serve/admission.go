@@ -1,0 +1,46 @@
+package serve
+
+import "sync/atomic"
+
+// admission bounds the number of statements executing at once. It is a plain
+// counting semaphore with observability: how often callers had to wait and
+// the high-water mark of concurrent execution (which the acceptance tests
+// compare against the configured limit).
+type admission struct {
+	slots  chan struct{}
+	waits  atomic.Int64
+	active atomic.Int64
+	peak   atomic.Int64
+}
+
+func newAdmission(limit int) *admission {
+	if limit < 1 {
+		limit = 1
+	}
+	return &admission{slots: make(chan struct{}, limit)}
+}
+
+// acquire blocks until a slot is free and returns the number of statements
+// (including this one) executing after admission. The caller must release().
+func (a *admission) acquire() int {
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		// No slot free right now: count the wait, then block.
+		a.waits.Add(1)
+		a.slots <- struct{}{}
+	}
+	n := a.active.Add(1)
+	for {
+		p := a.peak.Load()
+		if n <= p || a.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	return int(n)
+}
+
+func (a *admission) release() {
+	a.active.Add(-1)
+	<-a.slots
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := []struct {
+		typ byte
+		p   []byte
+	}{
+		{FrameHello, []byte(Banner)},
+		{FrameQuery, []byte("SELECT 1")},
+		{FrameRows, []byte{0, 1, 2, 255}},
+		{FrameDone, nil},
+	}
+	for _, f := range payloads {
+		if err := WriteFrame(&buf, f.typ, f.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		typ, p, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != want.typ || !bytes.Equal(p, want.p) {
+			t.Fatalf("got (%q, %v), want (%q, %v)", typ, p, want.typ, want.p)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameQuery, []byte("SELECT 1")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(cut)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: got %v, want ErrUnexpectedEOF", err)
+	}
+	// Truncated header (1 byte of the 5-byte prefix).
+	if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes()[:1])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated header: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	if err := WriteFrame(io.Discard, FrameRows, make([]byte, maxFrameBytes+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	// A length prefix past the limit must be rejected before allocating.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff, FrameRows}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized read: got %v", err)
+	}
+}
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT  1", "select 1"},
+		{"select\n\t1 ;", "select 1"},
+		{"  SELECT a FROM t  ", "select a from t"},
+		{"SELECT 'KeepCase  Inside'", "select 'KeepCase  Inside'"},
+		{"SELECT x FROM t;", "select x from t"},
+	}
+	for _, c := range cases {
+		if got := NormalizeSQL(c.in); got != c.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if NormalizeSQL("SELECT  1") != NormalizeSQL("select 1\n") {
+		t.Error("equivalent statements normalize differently")
+	}
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// serverStats are the server-wide counters. All fields are atomics because
+// every session goroutine updates them; reads come from \stats requests and
+// from tests via Server.Stats().
+type serverStats struct {
+	sessionsOpened  atomic.Int64
+	sessionsClosed  atomic.Int64
+	queriesServed   atomic.Int64
+	statementErrors atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the server-wide counters,
+// including the admission controller's and plan cache's.
+type StatsSnapshot struct {
+	SessionsOpened  int64
+	SessionsClosed  int64
+	QueriesServed   int64
+	StatementErrors int64
+	CacheHits       int64
+	CacheMisses     int64
+	AdmissionWaits  int64
+	ActiveQueries   int64
+	PeakConcurrent  int64
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf(
+		"sessions_opened %d\nsessions_closed %d\nqueries_served %d\nstatement_errors %d\n"+
+			"plan_cache_hits %d\nplan_cache_misses %d\nadmission_waits %d\nactive_queries %d\npeak_concurrent %d",
+		s.SessionsOpened, s.SessionsClosed, s.QueriesServed, s.StatementErrors,
+		s.CacheHits, s.CacheMisses, s.AdmissionWaits, s.ActiveQueries, s.PeakConcurrent)
+}
+
+// sessionStats are one connection's counters; the session goroutine is their
+// only writer, so they are plain ints.
+type sessionStats struct {
+	queries   int64
+	errors    int64
+	cacheHits int64
+}
+
+func (s sessionStats) String() string {
+	return fmt.Sprintf("session_queries %d\nsession_errors %d\nsession_cache_hits %d",
+		s.queries, s.errors, s.cacheHits)
+}

@@ -2,8 +2,8 @@
 # verify.sh is the repo's full verification gate: build, vet, the
 # project-specific lalint analysis suite, the test suite, the race detector
 # over the concurrent packages (the simulated cluster, the executor, the
-# BLAS-like kernels, and the benchmark harness that drives them), and the
-# benchmark smokes.
+# BLAS-like kernels, the server, and the benchmark harness that drives them),
+# the benchmark smokes, and the end-to-end server smoke.
 #
 # Every gate runs even if an earlier one fails (except that a failed build
 # skips the gates that cannot run without a building tree); the run ends with
@@ -48,12 +48,13 @@ if [[ $BUILD_OK == 1 ]]; then
   gate "go vet" go vet ./...
   gate "lalint" go run ./cmd/lalint ./...
   gate "go test" go test -short ./...
-  gate "go test -race" go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/ ./internal/fault/
+  gate "go test -race" go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/ ./internal/fault/ ./internal/serve/ ./internal/core/
   gate "kernel smoke" go run ./cmd/labench -kernels -smoke -out ""
   gate "spill smoke" go run ./cmd/labench -spill -smoke
   gate "faults smoke" go run ./cmd/labench -faults -smoke
+  gate "serve smoke" bash scripts/serve_smoke.sh
 else
-  for g in "go vet" "lalint" "go test" "go test -race" "kernel smoke" "spill smoke" "faults smoke"; do
+  for g in "go vet" "lalint" "go test" "go test -race" "kernel smoke" "spill smoke" "faults smoke" "serve smoke"; do
     skip "$g" "build failed"
   done
 fi
