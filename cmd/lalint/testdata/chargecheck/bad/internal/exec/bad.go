@@ -58,3 +58,16 @@ func chargePerIteration(c *cluster.Cluster, counts []int64) error {
 	}
 	return nil
 }
+
+// chargePerBatch charges every batch window from a speculable compute: each
+// retried attempt re-walks the windows and re-charges all of them.
+func chargePerBatch(c *cluster.Cluster, batches [][]int64) error {
+	return c.ParallelTasks("agg", cluster.TaskObserver{}, func(part, attempt int) (func() error, error) {
+		for _, b := range batches {
+			if err := c.ChargeTuples(int64(len(b))); err != nil {
+				return nil, err
+			}
+		}
+		return func() error { return nil }, nil
+	})
+}

@@ -48,3 +48,21 @@ func suppressed(c *cluster.Cluster) error {
 		return c.ChargeTuples(1)
 	})
 }
+
+// batchAccumulateThenCommit walks the batch windows in compute, admitting
+// work as it goes, and charges the accumulated count exactly once from the
+// commit closure — the batch executor's charge pattern.
+func batchAccumulateThenCommit(c *cluster.Cluster, batches [][]int64) error {
+	return c.ParallelTasks("agg", cluster.TaskObserver{}, func(part, attempt int) (func() error, error) {
+		var total int64
+		for _, b := range batches {
+			if err := c.CheckBudget(int64(len(b))); err != nil {
+				return nil, err
+			}
+			total += int64(len(b))
+		}
+		return func() error {
+			return c.ChargeTuples(total)
+		}, nil
+	})
+}

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"relalg/internal/core"
+	"relalg/internal/value"
+)
+
+// The batch sweep compares the row executor against the vectorized columnar
+// batch executor on the three operator classes the vectorization targets —
+// filter, hash join, and aggregation — over identical data at the same
+// cluster shape. Every batch run's rows must be byte-identical (EncodeRows,
+// so NaN payloads and -0 compare too) to the row run's; the sweep hard-fails
+// on any divergence, so the table doubles as an end-to-end equivalence gate.
+// A final budgeted leg forces both executors through the grace-join and
+// spilling-aggregation paths and checks the same identity there.
+
+// BatchConfig sizes the batch-vs-row sweep.
+type BatchConfig struct {
+	Rows      int // scan-table rows (filter and aggregation workloads)
+	JoinRows  int // build-side join rows (unique keys)
+	ProbeRows int // probe-side join rows (keys drawn from the build range)
+	Groups    int // distinct aggregation groups
+	Nodes     int
+	PerNode   int
+	BatchSize int // batch executor window (rows per batch)
+	Reps      int // timing repetitions; the minimum is reported
+	Seed      int64
+	// SpillBudget is the MemoryBudgetBytes for the budgeted leg; it must be
+	// small enough that the join+aggregate working set spills.
+	SpillBudget int64
+}
+
+// DefaultBatchConfig is the committed-snapshot configuration: four simulated
+// workers and row counts long enough to amortize planning.
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{
+		Rows:      200000,
+		JoinRows:  20000,
+		ProbeRows: 140000,
+		Groups:    64,
+		Nodes:     2,
+		PerNode:   2,
+		BatchSize: 1024,
+		Reps:      5,
+		Seed:      1,
+		SpillBudget: 48 << 10,
+	}
+}
+
+// SmokeBatchConfig finishes in a couple of seconds.
+func SmokeBatchConfig() BatchConfig {
+	return BatchConfig{
+		Rows:      30000,
+		JoinRows:  3000,
+		ProbeRows: 12000,
+		Groups:    16,
+		Nodes:     2,
+		PerNode:   2,
+		BatchSize: 1024,
+		Reps:      2,
+		Seed:      1,
+		SpillBudget: 24 << 10,
+	}
+}
+
+// Validate rejects sweeps that cannot serve as an equivalence gate.
+func (c BatchConfig) Validate() error {
+	if c.Rows <= 0 || c.JoinRows <= 0 || c.ProbeRows <= 0 || c.Groups <= 0 || c.Nodes <= 0 || c.PerNode <= 0 {
+		return errors.New("bench: batch config sizes must be positive")
+	}
+	if c.BatchSize <= 0 {
+		return errors.New("bench: batch size must be positive")
+	}
+	if c.Reps <= 0 {
+		return errors.New("bench: reps must be positive")
+	}
+	if c.SpillBudget <= 0 {
+		return errors.New("bench: spill budget must be positive")
+	}
+	return nil
+}
+
+// batchWorkloads are the swept queries. The predicates and aggregate inputs
+// are arithmetic-heavy on purpose: that is where per-row expression-tree
+// dispatch costs the row executor most and where the typed column kernels
+// pay off. The join tables are hash-partitioned on the key so the measured
+// time is build/probe, not shuffle.
+var batchWorkloads = []struct {
+	Name  string
+	Query string
+}{
+	{"filter", "SELECT g, a + b AS s FROM ft WHERE a * b + c * d > e * e AND a - b < c + d"},
+	{"hash_join", "SELECT jp.k, jb.p + jp.r AS x FROM jb, jp WHERE jb.k = jp.k AND jb.q < jp.s"},
+	{"aggregation", "SELECT g, COUNT(*) AS n, SUM(a * b + c) AS s1, SUM(d - e) AS s2 FROM ft GROUP BY g"},
+}
+
+// batchSpillQuery is the budgeted leg: a join+aggregate whose per-partition
+// working set exceeds SpillBudget under both executors.
+const batchSpillQuery = "SELECT jp.k, COUNT(*) AS n, SUM(jb.p * jp.r) AS s " +
+	"FROM jb, jp WHERE jb.k = jp.k GROUP BY jp.k"
+
+// batchSweepDB opens a database with the given batch size (0 = row executor)
+// and budget and loads the sweep's working set.
+func batchSweepDB(cfg BatchConfig, batch int, budget int64) (*core.Database, error) {
+	dbcfg := core.DefaultConfig()
+	dbcfg.Cluster.Nodes = cfg.Nodes
+	dbcfg.Cluster.PartitionsPerNode = cfg.PerNode
+	dbcfg.Cluster.MemoryBudgetBytes = budget
+	dbcfg.BatchSize = batch
+	db := core.Open(dbcfg)
+	for _, stmt := range []string{
+		"CREATE TABLE ft (g INTEGER, a DOUBLE, b DOUBLE, c DOUBLE, d DOUBLE, e DOUBLE)",
+		"CREATE TABLE jb (k INTEGER, p DOUBLE, q DOUBLE) PARTITION BY HASH (k)",
+		"CREATE TABLE jp (k INTEGER, r DOUBLE, s DOUBLE) PARTITION BY HASH (k)",
+	} {
+		if err := db.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	// Integer-valued doubles keep every sum exact; equivalence is then
+	// bit-for-bit regardless of how additions associate.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := func() value.Value { return value.Double(float64(rng.Intn(19) - 9)) }
+	ft := make([]value.Row, cfg.Rows)
+	for i := range ft {
+		ft[i] = value.Row{value.Int(int64(i % cfg.Groups)), d(), d(), d(), d(), d()}
+	}
+	if err := db.LoadTable("ft", ft); err != nil {
+		return nil, err
+	}
+	jb := make([]value.Row, cfg.JoinRows)
+	for i := range jb {
+		jb[i] = value.Row{value.Int(int64(i)), d(), d()}
+	}
+	if err := db.LoadTable("jb", jb); err != nil {
+		return nil, err
+	}
+	jp := make([]value.Row, cfg.ProbeRows)
+	for i := range jp {
+		jp[i] = value.Row{value.Int(int64(rng.Intn(cfg.JoinRows))), d(), d()}
+	}
+	if err := db.LoadTable("jp", jp); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// BatchResult is one workload's row-vs-batch measurement.
+type BatchResult struct {
+	Workload        string  `json:"workload"`
+	InputRows       int     `json:"input_rows"`
+	OutputRows      int     `json:"output_rows"`
+	RowSeconds      float64 `json:"row_seconds"`
+	BatchSeconds    float64 `json:"batch_seconds"`
+	RowRowsPerSec   float64 `json:"row_rows_per_sec"`
+	BatchRowsPerSec float64 `json:"batch_rows_per_sec"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// BatchSpillLeg records the budgeted identity check.
+type BatchSpillLeg struct {
+	Budget           int64 `json:"budget_bytes"`
+	RowSpillEvents   int64 `json:"row_spill_events"`
+	BatchSpillEvents int64 `json:"batch_spill_events"`
+	OutputRows       int   `json:"output_rows"`
+}
+
+// BatchReport is the sweep outcome; it serializes to BENCH_batch.json.
+type BatchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Workers     int           `json:"workers"`
+	BatchSize   int           `json:"batch_size"`
+	Reps        int           `json:"reps"`
+	Results     []BatchResult `json:"results"`
+	SpillLeg    BatchSpillLeg `json:"spill_leg"`
+}
+
+// JSON renders the report for BENCH_batch.json.
+func (r *BatchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the report as a human-readable table.
+func (r *BatchReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batch executor sweep (batch %d, %d workers, min of %d reps, GOMAXPROCS=%d)\n",
+		r.BatchSize, r.Workers, r.Reps, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s %14s %14s %9s\n",
+		"workload", "input rows", "row s", "batch s", "row rows/s", "batch rows/s", "speedup")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-14s %12d %12.4f %12.4f %14.0f %14.0f %8.2fx\n",
+			res.Workload, res.InputRows, res.RowSeconds, res.BatchSeconds,
+			res.RowRowsPerSec, res.BatchRowsPerSec, res.Speedup)
+	}
+	fmt.Fprintf(&b, "spill leg at %s: row %d spill events, batch %d, %d rows, byte-identical\n",
+		fmtBytes(r.SpillLeg.Budget), r.SpillLeg.RowSpillEvents, r.SpillLeg.BatchSpillEvents, r.SpillLeg.OutputRows)
+	b.WriteString("every batch run matched the row executor byte-for-byte\n")
+	return b.String()
+}
+
+// resultBytes is the identity fingerprint: schema text plus the EncodeRows
+// codec bytes, so NaN payloads and signed zeros participate in equality.
+func resultBytes(res *core.Result) []byte {
+	return append([]byte(res.Schema.String()+"\n"), value.EncodeRows(res.Rows)...)
+}
+
+// RunBatchSweep runs the sweep. It returns an error on any row/batch result
+// divergence, and if the budgeted leg fails to spill under either executor.
+func RunBatchSweep(cfg BatchConfig) (*BatchReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &BatchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339), //lint:ignore nodeterminism the snapshot timestamp is report metadata, not simulation state
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     cfg.Nodes * cfg.PerNode,
+		BatchSize:   cfg.BatchSize,
+		Reps:        cfg.Reps,
+	}
+	rowDB, err := batchSweepDB(cfg, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	batchDB, err := batchSweepDB(cfg, cfg.BatchSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range batchWorkloads {
+		inputRows := cfg.Rows
+		if w.Name == "hash_join" {
+			inputRows = cfg.JoinRows + cfg.ProbeRows
+		}
+		var rowRes, batchRes *core.Result
+		rowSec, batchSec, err := bestOfPair(cfg.Reps,
+			func() error {
+				r, err := rowDB.Query(w.Query)
+				rowRes = r
+				return err
+			},
+			func() error {
+				r, err := batchDB.Query(w.Query)
+				batchRes = r
+				return err
+			})
+		if err != nil {
+			return nil, fmt.Errorf("bench: batch sweep %s: %w", w.Name, err)
+		}
+		if !bytes.Equal(resultBytes(rowRes), resultBytes(batchRes)) {
+			return nil, fmt.Errorf("bench: batch sweep %s: batch results diverge from row executor", w.Name)
+		}
+		rep.Results = append(rep.Results, BatchResult{
+			Workload:        w.Name,
+			InputRows:       inputRows,
+			OutputRows:      len(rowRes.Rows),
+			RowSeconds:      rowSec,
+			BatchSeconds:    batchSec,
+			RowRowsPerSec:   float64(inputRows) / rowSec,
+			BatchRowsPerSec: float64(inputRows) / batchSec,
+			Speedup:         rowSec / batchSec,
+		})
+	}
+
+	// Budgeted leg: both executors must actually spill and still agree.
+	rowSpillDB, err := batchSweepDB(cfg, 0, cfg.SpillBudget)
+	if err != nil {
+		return nil, err
+	}
+	batchSpillDB, err := batchSweepDB(cfg, cfg.BatchSize, cfg.SpillBudget)
+	if err != nil {
+		return nil, err
+	}
+	rowRes, err := rowSpillDB.Query(batchSpillQuery)
+	if err != nil {
+		return nil, fmt.Errorf("bench: batch sweep spill leg (row): %w", err)
+	}
+	batchRes, err := batchSpillDB.Query(batchSpillQuery)
+	if err != nil {
+		return nil, fmt.Errorf("bench: batch sweep spill leg (batch): %w", err)
+	}
+	if rowRes.Stats.SpillEvents == 0 || batchRes.Stats.SpillEvents == 0 {
+		return nil, fmt.Errorf("bench: spill leg did not spill at budget %d (row %d, batch %d events); shrink the budget",
+			cfg.SpillBudget, rowRes.Stats.SpillEvents, batchRes.Stats.SpillEvents)
+	}
+	if !bytes.Equal(resultBytes(rowRes), resultBytes(batchRes)) {
+		return nil, errors.New("bench: batch sweep spill leg: batch results diverge from row executor")
+	}
+	rep.SpillLeg = BatchSpillLeg{
+		Budget:           cfg.SpillBudget,
+		RowSpillEvents:   rowRes.Stats.SpillEvents,
+		BatchSpillEvents: batchRes.Stats.SpillEvents,
+		OutputRows:       len(rowRes.Rows),
+	}
+	return rep, nil
+}

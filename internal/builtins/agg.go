@@ -18,6 +18,19 @@ type AggState interface {
 	Final() (value.Value, error)
 }
 
+// DoubleStepper is an optional AggState fast path. StepDouble(x) must be
+// observably identical to Step(value.Double(x)); the batch executor uses it
+// to feed typed float columns without boxing each lane.
+type DoubleStepper interface {
+	StepDouble(x float64) error
+}
+
+// IntStepper is the integer analogue of DoubleStepper: StepInt(x) must be
+// observably identical to Step(value.Int(x)).
+type IntStepper interface {
+	StepInt(x int64) error
+}
+
 // AggSpec describes one aggregate function.
 type AggSpec struct {
 	Name string
@@ -130,6 +143,44 @@ func (s *sumState) Step(v value.Value) error {
 	return fmt.Errorf("builtins: SUM over %s", v.Kind)
 }
 
+// StepDouble is the unboxed fast path: observably identical to
+// Step(value.Double(x)). The batch executor feeds typed float columns through
+// it to skip boxing each lane into a value.Value.
+func (s *sumState) StepDouble(x float64) error {
+	s.count++
+	switch s.kind {
+	case value.KindNull:
+		s.kind = value.KindDouble
+	case value.KindInt:
+		s.kind = value.KindDouble
+		s.d = float64(s.i)
+		s.i = 0
+	case value.KindDouble:
+	default:
+		return fmt.Errorf("builtins: SUM over mixed %s and DOUBLE", s.kind)
+	}
+	s.d += x
+	return nil
+}
+
+// StepInt is the unboxed fast path: observably identical to
+// Step(value.Int(x)).
+func (s *sumState) StepInt(x int64) error {
+	s.count++
+	if s.kind == value.KindNull {
+		s.kind = value.KindInt
+	}
+	if s.kind == value.KindDouble {
+		s.d += float64(x)
+		return nil
+	}
+	if s.kind != value.KindInt {
+		return fmt.Errorf("builtins: SUM over mixed %s and INTEGER", s.kind)
+	}
+	s.i += x
+	return nil
+}
+
 func (s *sumState) Merge(other AggState) error {
 	o := other.(*sumState)
 	if o.kind == value.KindNull {
@@ -173,6 +224,8 @@ func (s *countState) Step(v value.Value) error {
 	}
 	return nil
 }
+func (s *countState) StepDouble(float64) error    { s.n++; return nil }
+func (s *countState) StepInt(int64) error         { s.n++; return nil }
 func (s *countState) Merge(other AggState) error  { s.n += other.(*countState).n; return nil }
 func (s *countState) Final() (value.Value, error) { return value.Int(s.n), nil }
 
@@ -182,7 +235,9 @@ type avgState struct {
 	sum sumState
 }
 
-func (s *avgState) Step(v value.Value) error { return s.sum.Step(v) }
+func (s *avgState) Step(v value.Value) error  { return s.sum.Step(v) }
+func (s *avgState) StepDouble(x float64) error { return s.sum.StepDouble(x) }
+func (s *avgState) StepInt(x int64) error      { return s.sum.StepInt(x) }
 func (s *avgState) Merge(other AggState) error {
 	return s.sum.Merge(&other.(*avgState).sum)
 }

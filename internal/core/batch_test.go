@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"relalg/internal/value"
+)
+
+// batchTestLoad fills db with the tables the batch-equivalence queries run
+// over: numeric columns seeded with NaN, ±Inf, and -0 payloads, strings,
+// integers spanning the float53 boundary, and vector cells, plus a pair of
+// co-partitioned join tables.
+func batchTestLoad(t *testing.T, db *Database) {
+	t.Helper()
+	db.MustExec("CREATE TABLE pts (g INTEGER, tag STRING, a INTEGER, b INTEGER, x DOUBLE, y DOUBLE)")
+	special := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0, 1.5, -2.25}
+	rows := make([]value.Row, 700)
+	for i := range rows {
+		x := special[i%len(special)]
+		y := float64(i%19) - 9
+		a := int64(i % 23)
+		if i%31 == 0 {
+			a = int64(1)<<53 + int64(i) // exercise the lossy float compare
+		}
+		rows[i] = value.Row{
+			value.Int(int64(i % 13)),
+			value.String_(fmt.Sprintf("t%d", i%5)),
+			value.Int(a),
+			value.Int(int64(i%7) - 3),
+			value.Double(x),
+			value.Double(y),
+		}
+	}
+	if err := db.LoadTable("pts", rows); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE jl (id INTEGER, w DOUBLE, vec VECTOR[4]) PARTITION BY HASH (id)")
+	db.MustExec("CREATE TABLE jr (id INTEGER, z DOUBLE) PARTITION BY HASH (id)")
+	lrows := make([]value.Row, 500)
+	for i := range lrows {
+		lrows[i] = value.Row{
+			value.Int(int64(i % 211)),
+			value.Double(float64(i%17) * 0.5),
+			VectorValue(float64(i%7), float64((i+1)%5), float64((i+2)%3), float64(i%11)),
+		}
+	}
+	rrows := make([]value.Row, 300)
+	for i := range rrows {
+		rrows[i] = value.Row{value.Int(int64(i % 211)), value.Double(float64(i%29) - 14)}
+	}
+	if err := db.LoadTable("jl", lrows); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadTable("jr", rrows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// batchEquivQueries exercises every vectorized operator: chained filters with
+// integer division guarded by an earlier predicate, projection arithmetic,
+// logic over NaN/Inf comparisons, equi-join build/probe with a residual,
+// grouped and global aggregation, LIMIT inside a pipeline, and sorts.
+var batchEquivQueries = []string{
+	"SELECT g, a + b AS s, x * 2.0 AS xx FROM pts WHERE y > -5 AND b <> 0 AND a / b > 1",
+	"SELECT tag, -a AS na, NOT (x >= 0) AS nonneg FROM pts WHERE tag >= 't1' AND tag < 't4'",
+	"SELECT COUNT(*) AS n, SUM(y) AS sy, MIN(g) AS mg FROM pts WHERE x = x OR y < 0",
+	"SELECT g, COUNT(*) AS n, SUM(a) AS sa, AVG(y) AS ay FROM pts GROUP BY g",
+	"SELECT tag, SUM(b * b) AS sq FROM pts WHERE a > 2 GROUP BY tag",
+	"SELECT jl.id, jl.w + jr.z AS wz FROM jl, jr WHERE jl.id = jr.id AND jl.w > 1.0",
+	"SELECT jl.id, COUNT(*) AS n, SUM(jr.z) AS sz FROM jl, jr WHERE jl.id = jr.id GROUP BY jl.id",
+	"SELECT SUM(inner_product(jl.vec, jl.vec)) AS ip FROM jl",
+	"SELECT g, x FROM pts WHERE y > 0 LIMIT 7",
+	"SELECT g, y FROM pts WHERE g < 5 ORDER BY y, g LIMIT 20",
+}
+
+func batchTestDB(t *testing.T, nodes, parts, batch int, budget int64) *Database {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cluster.Nodes = nodes
+	cfg.Cluster.PartitionsPerNode = parts
+	cfg.Cluster.MemoryBudgetBytes = budget
+	cfg.BatchSize = batch
+	db := Open(cfg)
+	batchTestLoad(t, db)
+	return db
+}
+
+// TestBatchExecutorBitIdentical pins the batch executor's core contract: for
+// every query, cluster shape, and memory budget, every batch size — including
+// degenerate (1), odd (3, 1023), and full (4096) windows — produces results
+// byte-identical (EncodeRows, so NaN payloads compare too) to the row
+// executor's.
+func TestBatchExecutorBitIdentical(t *testing.T) {
+	shapes := []struct{ nodes, parts int }{{1, 1}, {2, 2}, {1, 3}}
+	budgets := []int64{0, 96 << 10}
+	batchSizes := []int{1, 3, 1023, 4096}
+	if testing.Short() {
+		shapes = shapes[1:2]
+		batchSizes = []int{3, 1024}
+	}
+	for _, sh := range shapes {
+		for _, budget := range budgets {
+			rowDB := batchTestDB(t, sh.nodes, sh.parts, 0, budget)
+			want := make([]string, len(batchEquivQueries))
+			for qi, q := range batchEquivQueries {
+				res, err := rowDB.Query(q)
+				if err != nil {
+					t.Fatalf("row %dx%d budget=%d %q: %v", sh.nodes, sh.parts, budget, q, err)
+				}
+				want[qi] = resultText(res)
+			}
+			for _, bs := range batchSizes {
+				db := batchTestDB(t, sh.nodes, sh.parts, bs, budget)
+				for qi, q := range batchEquivQueries {
+					res, err := db.Query(q)
+					if err != nil {
+						t.Fatalf("batch=%d %dx%d budget=%d %q: %v", bs, sh.nodes, sh.parts, budget, q, err)
+					}
+					if got := resultText(res); got != want[qi] {
+						t.Errorf("batch=%d %dx%d budget=%d %q: results differ from row executor", bs, sh.nodes, sh.parts, budget, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchExecutorSpillLegSpills asserts the tight-budget leg of the
+// equivalence matrix actually drives the out-of-core paths: the join+agg
+// query must spill under both executors and still agree byte-for-byte.
+func TestBatchExecutorSpillLegSpills(t *testing.T) {
+	const budget = 8 << 10
+	const q = "SELECT jl.id, COUNT(*) AS n, SUM(jr.z) AS sz FROM jl, jr WHERE jl.id = jr.id GROUP BY jl.id"
+	rowDB := batchTestDB(t, 2, 2, 0, budget)
+	rowRes, err := rowDB.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowRes.Stats.SpillEvents == 0 {
+		t.Fatalf("row executor did not spill at budget %d", budget)
+	}
+	db := batchTestDB(t, 2, 2, 1023, budget)
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpillEvents == 0 {
+		t.Fatalf("batch executor did not spill at budget %d", budget)
+	}
+	if resultText(res) != resultText(rowRes) {
+		t.Fatal("spilled batch results differ from spilled row results")
+	}
+}
+
+// TestBatchLimitChargesOnlyEmitted pins the LIMIT satellite: in batch mode a
+// fused pipeline under LIMIT stops at the limit, so the tuples charged are no
+// more than the row executor's (which materializes every surviving row before
+// truncating) and the visible rows are identical.
+func TestBatchLimitChargesOnlyEmitted(t *testing.T) {
+	const q = "SELECT g, y FROM pts WHERE y > -100 LIMIT 3"
+	rowDB := batchTestDB(t, 2, 2, 0, 0)
+	rowRes, err := rowDB.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := batchTestDB(t, 2, 2, 256, 0)
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultText(res) != resultText(rowRes) {
+		t.Fatal("LIMIT rows differ between executors")
+	}
+	if res.Stats.TuplesProduced >= rowRes.Stats.TuplesProduced {
+		t.Fatalf("batch LIMIT charged %d tuples, row path %d — expected strictly fewer (discarded rows must not be charged)",
+			res.Stats.TuplesProduced, rowRes.Stats.TuplesProduced)
+	}
+}

@@ -40,6 +40,11 @@ type Config struct {
 	// stage-at-a-time execution with one materialized relation per operator;
 	// see exec.Context.
 	DisablePipelineFusion bool
+	// BatchSize, when > 0, runs queries on the vectorized batch executor:
+	// filter, project, join build/probe, and aggregation process windows of
+	// this many rows as per-column arrays with selection vectors. 0 (the
+	// default) keeps the row-at-a-time executor; see exec.Context.BatchSize.
+	BatchSize int
 }
 
 // DefaultConfig simulates the paper's 10-node cluster with the full
@@ -567,6 +572,7 @@ func (db *Database) ExecutePlanned(optimized plan.Node, rsrc Resources) (res *Re
 		DisableAggFusion:      db.cfg.DisableAggFusion,
 		DisablePipelineFusion: db.cfg.DisablePipelineFusion,
 		KernelWorkers:         db.kernelWorkers(rsrc),
+		BatchSize:             db.cfg.BatchSize,
 	}
 	resolved, err := db.resolveSubqueries(ctx, optimized)
 	if err != nil {

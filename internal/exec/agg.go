@@ -34,7 +34,7 @@ func runAgg(ctx *Context, a *plan.Agg) (*Relation, error) {
 	stopLocal := ctx.Timings.Track("aggregate")
 	locals := make([]map[uint64][]*aggGroup, len(in.Parts))
 	err = ctx.Cluster.ParallelTasks("aggregate", taskObs(ctx), func(part, attempt int) (func() error, error) {
-		pa := &partAgg{ctx: ctx, ec: ctx.EvalCtx(), a: a, part: part, attempt: attempt}
+		pa := &partAgg{ctx: ctx, ec: ctx.EvalCtx(), a: a, part: part, attempt: attempt, bsize: ctx.BatchSize}
 		groups, err := pa.aggregate(in.Parts[part])
 		if err != nil {
 			return nil, err
@@ -269,16 +269,26 @@ type partAgg struct {
 	a       *plan.Agg
 	part    int
 	attempt int // owning task attempt; keys spill write-fault draws
+	bsize   int // >0 switches this partition to the batch executor
 }
 
 // aggregate builds the partition's group map from rows.
 func (pa *partAgg) aggregate(rows []value.Row) (map[uint64][]*aggGroup, error) {
 	if !pa.ctx.spillEnabled() {
-		return pa.build(sliceIter(rows), nil, 0)
+		return pa.buildAny(sliceIter(rows), nil, 0)
 	}
 	res := pa.ctx.Spill.Governor().Reservation("hash aggregate")
 	defer res.Release()
-	return pa.build(sliceIter(rows), res, 0)
+	return pa.buildAny(sliceIter(rows), res, 0)
+}
+
+// buildAny dispatches between the row and batch builders; the overflow
+// recursion re-enters through here so spilled runs rebuild in the same mode.
+func (pa *partAgg) buildAny(next rowIter, res *spill.Reservation, depth int) (map[uint64][]*aggGroup, error) {
+	if pa.bsize > 0 {
+		return pa.buildBatch(next, res, depth)
+	}
+	return pa.build(next, res, depth)
 }
 
 // rowIter yields rows; the bool result is false at end of input.
@@ -416,7 +426,7 @@ func (pa *partAgg) buildFromRun(run *spill.Run, res *spill.Reservation, depth in
 	if err != nil {
 		return nil, err
 	}
-	groups, err := pa.build(rd.Next, res, depth)
+	groups, err := pa.buildAny(rd.Next, res, depth)
 	if err != nil {
 		_ = rd.Close() // the build error is the actionable one
 		return nil, err

@@ -153,6 +153,14 @@ type Context struct {
 	// serving layer sets an explicit lease so concurrent queries share the
 	// machine instead of each assuming exclusive use.
 	KernelWorkers int
+	// BatchSize, when > 0, switches filter, project, the fused pipeline,
+	// hash-join build/probe, and partition-local aggregation to the
+	// vectorized batch executor: rows are processed in windows of this many
+	// as per-column arrays with selection vectors. 0 keeps the row-at-a-time
+	// executor. Results, ordering, charges, and spill behaviour are
+	// bit-identical either way (except LIMIT over a fused pipeline, which
+	// stops producing at the limit instead of materializing first).
+	BatchSize int
 }
 
 // EvalCtx returns the expression-evaluation context for this query. The
@@ -300,17 +308,26 @@ func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
 	out := make([][]value.Row, len(in.Parts))
 	ec := ctx.EvalCtx()
 	err = ctx.Cluster.ParallelTasks("project", taskObs(ctx), func(part, _ int) (func() error, error) {
-		rows := make([]value.Row, 0, len(in.Parts[part]))
-		for _, r := range in.Parts[part] {
-			nr := make(value.Row, len(p.Exprs))
-			for i, e := range p.Exprs {
-				v, err := e.Eval(ec, r)
-				if err != nil {
-					return nil, err
-				}
-				nr[i] = v
+		var rows []value.Row
+		if ctx.BatchSize > 0 {
+			var err error
+			rows, err = batchProjectPart(ctx, ec, p.Exprs, in.Parts[part])
+			if err != nil {
+				return nil, err
 			}
-			rows = append(rows, nr)
+		} else {
+			rows = make([]value.Row, 0, len(in.Parts[part]))
+			for _, r := range in.Parts[part] {
+				nr := make(value.Row, len(p.Exprs))
+				for i, e := range p.Exprs {
+					v, err := e.Eval(ec, r)
+					if err != nil {
+						return nil, err
+					}
+					nr[i] = v
+				}
+				rows = append(rows, nr)
+			}
 		}
 		return func() error {
 			out[part] = rows
@@ -339,13 +356,21 @@ func runFilter(ctx *Context, f *plan.Filter) (*Relation, error) {
 	ec := ctx.EvalCtx()
 	err = ctx.Cluster.ParallelTasks("filter", taskObs(ctx), func(part, _ int) (func() error, error) {
 		var rows []value.Row
-		for _, r := range in.Parts[part] {
-			v, err := f.Pred.Eval(ec, r)
+		if ctx.BatchSize > 0 {
+			var err error
+			rows, err = batchFilterPart(ctx, ec, f.Pred, in.Parts[part])
 			if err != nil {
 				return nil, err
 			}
-			if v.Kind == value.KindBool && v.B {
-				rows = append(rows, r)
+		} else {
+			for _, r := range in.Parts[part] {
+				v, err := f.Pred.Eval(ec, r)
+				if err != nil {
+					return nil, err
+				}
+				if v.Kind == value.KindBool && v.B {
+					rows = append(rows, r)
+				}
 			}
 		}
 		return func() error {
@@ -445,7 +470,23 @@ func compareForSort(a, b value.Value) (int, error) {
 }
 
 func runLimit(ctx *Context, l *plan.Limit) (*Relation, error) {
-	in, err := Run(ctx, l.Input)
+	// In batch mode, a fused-pipeline input takes the limit as a per-partition
+	// cap: production stops at l.N rows via the selection vector, so the
+	// discarded tail of a batch is neither materialized by the arena nor
+	// charged to the tuple budget (the row path materializes and charges every
+	// surviving pipeline row first).
+	var (
+		in  *Relation
+		err error
+	)
+	if ctx.BatchSize > 0 {
+		if sp := matchPipeline(ctx, l.Input); sp != nil {
+			in, err = runPipelineLimited(ctx, sp, l.N)
+		}
+	}
+	if in == nil && err == nil {
+		in, err = Run(ctx, l.Input)
+	}
 	if err != nil {
 		return nil, err
 	}

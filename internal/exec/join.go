@@ -169,6 +169,7 @@ func runJoinWith(ctx *Context, j *plan.Join, proj *projectSpec) (*Relation, erro
 			charge:    newCharger(ctx, "hash join"),
 			part:      part,
 			attempt:   attempt,
+			bsize:     ctx.BatchSize,
 		}
 		if err := pj.run(buildRows, probeRows); err != nil {
 			return nil, err
@@ -211,6 +212,8 @@ type partJoin struct {
 	charge    *charger
 	part      int
 	attempt   int // owning task attempt; keys spill write-fault draws
+	bsize     int // >0 switches this partition to the batch executor
+	em        *batchEmitter
 	rows      []value.Row
 }
 
@@ -223,6 +226,9 @@ const maxGraceDepth = 3
 // strictly-in-memory hash join; with one, a denied build-table reservation
 // switches the partition to grace mode.
 func (pj *partJoin) run(buildRows, probeRows []value.Row) error {
+	if pj.bsize > 0 {
+		return pj.runBatch(buildRows, probeRows)
+	}
 	if !pj.ctx.spillEnabled() {
 		table, _, err := pj.buildTable(buildRows, nil, false)
 		if err != nil {
@@ -290,34 +296,8 @@ func (pj *partJoin) probeRow(table map[uint64][]joinBucket, pr value.Row) error 
 		if !valsEqual(kv, b.keys) {
 			continue
 		}
-		nr := make(value.Row, 0, len(pj.j.Out))
-		if pj.buildLeft {
-			nr = append(nr, b.row...)
-			nr = append(nr, pr...)
-		} else {
-			nr = append(nr, pr...)
-			nr = append(nr, b.row...)
-		}
-		keep := true
-		for _, res := range pj.j.Residual {
-			v, err := res.Eval(pj.ec, nr)
-			if err != nil {
-				return err
-			}
-			if !(v.Kind == value.KindBool && v.B) {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			emitted, err := pj.proj.emit(pj.ec, nr)
-			if err != nil {
-				return err
-			}
-			pj.rows = append(pj.rows, emitted)
-			if err := pj.charge.tick(); err != nil {
-				return err
-			}
+		if err := pj.emitMatch(b.row, pr); err != nil {
+			return err
 		}
 	}
 	return nil

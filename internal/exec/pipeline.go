@@ -63,6 +63,14 @@ func (a *rowArena) alloc(n int) value.Row {
 // cluster budget — the fused chain genuinely never materializes the
 // intermediates the stage-at-a-time executor would have paid for.
 func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
+	return runPipelineLimited(ctx, sp, -1)
+}
+
+// runPipelineLimited is runPipeline with an optional per-partition row cap
+// (limit < 0 means none). Only the batch executor takes the cap: runLimit
+// pushes its N down so each partition stops producing — and charging — at N
+// rows, truncating inside a batch via the selection vector.
+func runPipelineLimited(ctx *Context, sp *plan.Pipeline, limit int) (*Relation, error) {
 	defer ctx.Timings.Track("pipeline")()
 	parts, keys, err := scanParts(ctx, sp.Scan)
 	if err != nil {
@@ -71,6 +79,16 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 	out := make([][]value.Row, len(parts))
 	ec := ctx.EvalCtx()
 	err = ctx.Cluster.ParallelTasks("pipeline", taskObs(ctx), func(part, _ int) (func() error, error) {
+		if ctx.BatchSize > 0 {
+			rows, err := batchPipelinePart(ctx, ec, sp, parts[part], limit)
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				out[part] = rows
+				return nil
+			}, nil
+		}
 		var arena rowArena
 		var rows []value.Row
 		for _, r := range parts[part] {

@@ -1,0 +1,613 @@
+package value
+
+import (
+	"relalg/internal/linalg"
+)
+
+// This file defines the columnar batch representation the vectorized executor
+// passes between operators: a window of 1-4K rows stored as per-column typed
+// arrays plus a selection vector of live lanes. A column is "typed" when every
+// value in the window has the same kind — the common case for relational data
+// — and falls back to a generic []Value otherwise (mixed kinds or NULLs), so
+// vectorized fast paths never have to reason about per-lane kind dispatch:
+// they either run over a homogeneous array or the evaluator degrades to
+// element-at-a-time evaluation with exactly the row executor's semantics.
+
+// Col is one column of a batch: either a homogeneous typed array (Generic
+// false; Kind names the storage) or a generic value array (Generic true).
+// The typed arrays alias the vectors/matrices of the rows they were gathered
+// from — like Row.Clone, a gathered column shares cell backing storage, so a
+// column that crosses a partition or goroutine boundary must go through
+// DeepClone or the row codec just as rows must.
+type Col struct {
+	Kind    Kind
+	Generic bool
+
+	B     []bool
+	I     []int64
+	F     []float64 // KindDouble and the scalar of KindLabeledScalar
+	S     []string
+	Vec   []*linalg.Vector
+	Mat   []*linalg.Matrix
+	Label []int64 // labels for KindLabeledScalar and KindVector
+
+	Any []Value // Generic storage
+}
+
+// Len returns the number of lanes in the column.
+func (c *Col) Len() int {
+	if c.Generic {
+		return len(c.Any)
+	}
+	switch c.Kind {
+	case KindBool:
+		return len(c.B)
+	case KindInt:
+		return len(c.I)
+	case KindDouble, KindLabeledScalar:
+		return len(c.F)
+	case KindString:
+		return len(c.S)
+	case KindVector:
+		return len(c.Vec)
+	case KindMatrix:
+		return len(c.Mat)
+	}
+	return 0
+}
+
+// Reset clears the column for reuse, keeping backing arrays.
+func (c *Col) Reset() {
+	c.Kind = KindNull
+	c.Generic = false
+	c.B = c.B[:0]
+	c.I = c.I[:0]
+	c.F = c.F[:0]
+	c.S = c.S[:0]
+	c.Vec = c.Vec[:0]
+	c.Mat = c.Mat[:0]
+	c.Label = c.Label[:0]
+	c.Any = c.Any[:0]
+}
+
+// Gather fills the column from rows[lo:hi] at column index idx. It starts
+// optimistically typed from the first value's kind and degrades to generic
+// storage when a lane disagrees (including NULLs).
+func (c *Col) Gather(rows []Row, lo, hi, idx int) {
+	c.Reset()
+	if hi <= lo {
+		return
+	}
+	kind := rows[lo][idx].Kind
+	if kind == KindNull {
+		c.gatherGeneric(rows, lo, hi, idx)
+		return
+	}
+	c.Kind = kind
+	for i := lo; i < hi; i++ {
+		v := rows[i][idx]
+		if v.Kind != kind {
+			c.gatherGeneric(rows, lo, hi, idx)
+			return
+		}
+		switch kind {
+		case KindBool:
+			c.B = append(c.B, v.B)
+		case KindInt:
+			c.I = append(c.I, v.I)
+		case KindDouble:
+			c.F = append(c.F, v.D)
+		case KindLabeledScalar:
+			c.F = append(c.F, v.D)
+			c.Label = append(c.Label, v.Label)
+		case KindString:
+			c.S = append(c.S, v.S)
+		case KindVector:
+			c.Vec = append(c.Vec, v.Vec)
+			c.Label = append(c.Label, v.Label)
+		case KindMatrix:
+			c.Mat = append(c.Mat, v.Mat)
+		}
+	}
+}
+
+// appendValue appends v as the next lane, starting optimistically typed from
+// the first value's kind and degrading to generic storage on a mismatch or
+// NULL, exactly as Gather does. The column must be Reset before the first
+// append.
+func (c *Col) appendValue(v Value) {
+	if c.Generic {
+		c.Any = append(c.Any, v)
+		return
+	}
+	if c.Kind == KindNull { // first lane
+		if v.Kind == KindNull {
+			c.Generic = true
+			c.Any = append(c.Any, v)
+			return
+		}
+		c.Kind = v.Kind
+	}
+	if v.Kind != c.Kind {
+		c.degrade()
+		c.Any = append(c.Any, v)
+		return
+	}
+	switch c.Kind {
+	case KindBool:
+		c.B = append(c.B, v.B)
+	case KindInt:
+		c.I = append(c.I, v.I)
+	case KindDouble:
+		c.F = append(c.F, v.D)
+	case KindLabeledScalar:
+		c.F = append(c.F, v.D)
+		c.Label = append(c.Label, v.Label)
+	case KindString:
+		c.S = append(c.S, v.S)
+	case KindVector:
+		c.Vec = append(c.Vec, v.Vec)
+		c.Label = append(c.Label, v.Label)
+	case KindMatrix:
+		c.Mat = append(c.Mat, v.Mat)
+	}
+}
+
+// GatherMulti fills cols[j] from column idxs[j] of rows[lo:hi] in a single
+// pass over the rows. It is lane-for-lane equivalent to calling Gather once
+// per column, but each row's backing array is visited once, so the scattered
+// loads of neighbouring columns hit adjacent cache lines instead of re-walking
+// the row set per column.
+func GatherMulti(rows []Row, lo, hi int, idxs []int, cols []*Col) {
+	for _, c := range cols {
+		c.Reset()
+	}
+	for i := lo; i < hi; i++ {
+		r := rows[i]
+		for j, idx := range idxs {
+			c := cols[j]
+			v := &r[idx]
+			// Inline the numeric hot paths; everything else (first lane,
+			// kind change, non-numeric kinds) takes the general append.
+			if !c.Generic && v.Kind == c.Kind {
+				if v.Kind == KindDouble {
+					c.F = append(c.F, v.D)
+					continue
+				}
+				if v.Kind == KindInt {
+					c.I = append(c.I, v.I)
+					continue
+				}
+			}
+			c.appendValue(*v)
+		}
+	}
+}
+
+func (c *Col) gatherGeneric(rows []Row, lo, hi, idx int) {
+	c.Reset()
+	c.Generic = true
+	if cap(c.Any) < hi-lo {
+		c.Any = make([]Value, 0, hi-lo)
+	}
+	for i := lo; i < hi; i++ {
+		c.Any = append(c.Any, rows[i][idx])
+	}
+}
+
+// Fill makes the column n lanes of the constant v.
+func (c *Col) Fill(v Value, n int) {
+	c.Reset()
+	if v.Kind == KindNull {
+		c.Generic = true
+		for i := 0; i < n; i++ {
+			c.Any = append(c.Any, v)
+		}
+		return
+	}
+	c.Kind = v.Kind
+	for i := 0; i < n; i++ {
+		switch v.Kind {
+		case KindBool:
+			c.B = append(c.B, v.B)
+		case KindInt:
+			c.I = append(c.I, v.I)
+		case KindDouble:
+			c.F = append(c.F, v.D)
+		case KindLabeledScalar:
+			c.F = append(c.F, v.D)
+			c.Label = append(c.Label, v.Label)
+		case KindString:
+			c.S = append(c.S, v.S)
+		case KindVector:
+			c.Vec = append(c.Vec, v.Vec)
+			c.Label = append(c.Label, v.Label)
+		case KindMatrix:
+			c.Mat = append(c.Mat, v.Mat)
+		}
+	}
+}
+
+// Value reconstructs lane i as a Value. Like reading a cell from a Row, the
+// result shares vector/matrix backing storage with the column.
+func (c *Col) Value(i int) Value {
+	if c.Generic {
+		return c.Any[i]
+	}
+	switch c.Kind {
+	case KindBool:
+		return Value{Kind: KindBool, B: c.B[i]}
+	case KindInt:
+		return Value{Kind: KindInt, I: c.I[i]}
+	case KindDouble:
+		return Value{Kind: KindDouble, D: c.F[i]}
+	case KindLabeledScalar:
+		return Value{Kind: KindLabeledScalar, D: c.F[i], Label: c.Label[i]}
+	case KindString:
+		return Value{Kind: KindString, S: c.S[i]}
+	case KindVector:
+		return Value{Kind: KindVector, Vec: c.Vec[i], Label: c.Label[i]}
+	case KindMatrix:
+		return Value{Kind: KindMatrix, Mat: c.Mat[i]}
+	}
+	return Value{}
+}
+
+// IsNumeric reports whether the column's typed storage is numeric scalar.
+func (c *Col) IsNumeric() bool {
+	if c.Generic {
+		return false
+	}
+	switch c.Kind {
+	case KindInt, KindDouble, KindLabeledScalar:
+		return true
+	}
+	return false
+}
+
+// AsFloats returns the lanes as float64s, using scratch as backing when a
+// conversion is needed (KindInt), and whether the conversion was possible.
+// Only the lanes named by sel (all of [0,n) when sel is nil) are converted.
+func (c *Col) AsFloats(scratch []float64, sel []int32) ([]float64, bool) {
+	if c.Generic {
+		return nil, false
+	}
+	switch c.Kind {
+	case KindDouble, KindLabeledScalar:
+		return c.F, true
+	case KindInt:
+		n := len(c.I)
+		if cap(scratch) < n {
+			scratch = make([]float64, n)
+		}
+		scratch = scratch[:n]
+		if sel == nil {
+			for i, x := range c.I {
+				scratch[i] = float64(x)
+			}
+		} else {
+			for _, i := range sel {
+				scratch[i] = float64(c.I[i])
+			}
+		}
+		return scratch, true
+	}
+	return nil, false
+}
+
+// SizeBytesAt replicates Value.SizeBytes for lane i without materializing the
+// value (the spill governor's per-row footprint must match the row executor's
+// exactly so budget denials trip at the same row).
+func (c *Col) SizeBytesAt(i int) int {
+	if c.Generic {
+		return c.Any[i].SizeBytes()
+	}
+	switch c.Kind {
+	case KindBool:
+		return 1
+	case KindInt, KindDouble:
+		return 8
+	case KindLabeledScalar:
+		return 16
+	case KindString:
+		return len(c.S[i]) + 4
+	case KindVector:
+		return 8*c.Vec[i].Len() + 12
+	case KindMatrix:
+		return 8*c.Mat[i].Rows*c.Mat[i].Cols + 8
+	}
+	return 1 // NULL
+}
+
+// AppendFrom appends lane i of src to the column, degrading to generic
+// storage on a kind mismatch. It is how join key stores accumulate key
+// columns across batches.
+func (c *Col) AppendFrom(src *Col, i int) {
+	v := src.Value(i)
+	if c.Generic {
+		c.Any = append(c.Any, v)
+		return
+	}
+	if c.Len() == 0 {
+		c.Kind = v.Kind
+	}
+	if v.Kind != c.Kind || v.Kind == KindNull {
+		c.degrade()
+		c.Any = append(c.Any, v)
+		return
+	}
+	switch c.Kind {
+	case KindBool:
+		c.B = append(c.B, v.B)
+	case KindInt:
+		c.I = append(c.I, v.I)
+	case KindDouble:
+		c.F = append(c.F, v.D)
+	case KindLabeledScalar:
+		c.F = append(c.F, v.D)
+		c.Label = append(c.Label, v.Label)
+	case KindString:
+		c.S = append(c.S, v.S)
+	case KindVector:
+		c.Vec = append(c.Vec, v.Vec)
+		c.Label = append(c.Label, v.Label)
+	case KindMatrix:
+		c.Mat = append(c.Mat, v.Mat)
+	}
+}
+
+// degrade converts typed storage to generic in place.
+func (c *Col) degrade() {
+	n := c.Len()
+	any := make([]Value, n)
+	for i := 0; i < n; i++ {
+		any[i] = c.Value(i)
+	}
+	c.Reset()
+	c.Generic = true
+	c.Any = any
+}
+
+// Specialize converts a generic column to typed storage when every lane in
+// sel (all lanes when nil) has the same non-NULL kind; other lanes are
+// ignored, so a fallback evaluator that only wrote selected lanes still
+// specializes. No-op for already-typed columns.
+func (c *Col) Specialize(n int, sel []int32) {
+	if !c.Generic || len(c.Any) == 0 {
+		return
+	}
+	kind := KindNull
+	probe := func(i int) bool {
+		v := c.Any[i]
+		if kind == KindNull {
+			kind = v.Kind
+		}
+		return v.Kind == kind && v.Kind != KindNull
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !probe(i) {
+				return
+			}
+		}
+	} else {
+		for _, i := range sel {
+			if !probe(int(i)) {
+				return
+			}
+		}
+	}
+	if kind == KindNull {
+		return // empty selection: nothing to learn
+	}
+	any := c.Any
+	c.Reset()
+	c.Kind = kind
+	for i := 0; i < len(any); i++ {
+		// Unselected lanes may hold mismatched values; their typed slots are
+		// dead by contract, so storing their zero fields is fine.
+		v := any[i]
+		switch kind {
+		case KindBool:
+			c.B = append(c.B, v.B)
+		case KindInt:
+			c.I = append(c.I, v.I)
+		case KindDouble:
+			c.F = append(c.F, v.D)
+		case KindLabeledScalar:
+			c.F = append(c.F, v.D)
+			c.Label = append(c.Label, v.Label)
+		case KindString:
+			c.S = append(c.S, v.S)
+		case KindVector:
+			c.Vec = append(c.Vec, v.Vec)
+			c.Label = append(c.Label, v.Label)
+		case KindMatrix:
+			c.Mat = append(c.Mat, v.Mat)
+		}
+	}
+}
+
+// HashesInto writes the per-value hash (identical to Value.Hash) of each
+// selected lane into dst, which must have at least Len lanes. Key hashing,
+// grace-join scatter, and aggregation grouping all build on these hashes, so
+// they must match the row executor's bit-for-bit — the batch executor's
+// output ordering depends on it.
+func (c *Col) HashesInto(dst []uint64, sel []int32) {
+	if c.Generic {
+		if sel == nil {
+			for i := range c.Any {
+				dst[i] = c.Any[i].Hash()
+			}
+		} else {
+			for _, i := range sel {
+				dst[i] = c.Any[i].Hash()
+			}
+		}
+		return
+	}
+	lane := func(i int) uint64 {
+		h := uint64(fnvOffset64)
+		switch c.Kind {
+		case KindBool:
+			if c.B[i] {
+				h = fnvMix(h, 1)
+			} else {
+				h = fnvMix(h, 2)
+			}
+		case KindInt:
+			h = fnvMix(h, doubleBits(float64(c.I[i])))
+		case KindDouble, KindLabeledScalar:
+			h = fnvMix(h, doubleBits(c.F[i]))
+		case KindString:
+			for j := 0; j < len(c.S[i]); j++ {
+				h ^= uint64(c.S[i][j])
+				h *= fnvPrime64
+			}
+		case KindVector:
+			for _, x := range c.Vec[i].Data {
+				h = fnvMix(h, doubleBits(x))
+			}
+		case KindMatrix:
+			h = fnvMix(h, uint64(c.Mat[i].Cols))
+			for _, x := range c.Mat[i].Data {
+				h = fnvMix(h, doubleBits(x))
+			}
+		}
+		return h
+	}
+	if sel == nil {
+		for i := 0; i < c.Len(); i++ {
+			dst[i] = lane(i)
+		}
+	} else {
+		for _, i := range sel {
+			dst[i] = lane(int(i))
+		}
+	}
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds the 8 little-endian bytes of x into h exactly as Value.Hash's
+// inner mix does.
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// CombineKeyHashes folds one key column's per-value hashes into the running
+// key-tuple hashes, exactly as the row executor's hashVals folds Value.Hash
+// results: h ^= vh; h *= prime. Initialize dst lanes with KeyHashInit first.
+func CombineKeyHashes(dst, colHashes []uint64, sel []int32) {
+	if sel == nil {
+		for i := range dst {
+			dst[i] = (dst[i] ^ colHashes[i]) * fnvPrime64
+		}
+	} else {
+		for _, i := range sel {
+			dst[i] = (dst[i] ^ colHashes[i]) * fnvPrime64
+		}
+	}
+}
+
+// KeyHashInit is the seed of a key-tuple hash (hashVals' FNV offset).
+const KeyHashInit = uint64(fnvOffset64)
+
+// Batch is a window of rows in columnar form: per-column typed arrays plus a
+// selection vector of live lanes. Sel nil means all N lanes are live; a
+// non-nil Sel lists live lane indexes in ascending order.
+type Batch struct {
+	Cols []Col
+	N    int
+	Sel  []int32
+}
+
+// BatchFromRows gathers every column of rows into a fresh batch with all
+// lanes live.
+func BatchFromRows(rows []Row) *Batch {
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	b := &Batch{Cols: make([]Col, width), N: len(rows)}
+	for i := range b.Cols {
+		b.Cols[i].Gather(rows, 0, len(rows), i)
+	}
+	return b
+}
+
+// Live returns the number of live lanes.
+func (b *Batch) Live() int {
+	if b.Sel == nil {
+		return b.N
+	}
+	return len(b.Sel)
+}
+
+// AppendRows materializes the live lanes as rows appended to dst. Cells
+// share vector/matrix storage with the batch, mirroring Row.Clone semantics.
+func (b *Batch) AppendRows(dst []Row) []Row {
+	emit := func(i int) {
+		r := make(Row, len(b.Cols))
+		for j := range b.Cols {
+			r[j] = b.Cols[j].Value(i)
+		}
+		dst = append(dst, r)
+	}
+	if b.Sel == nil {
+		for i := 0; i < b.N; i++ {
+			emit(i)
+		}
+	} else {
+		for _, i := range b.Sel {
+			emit(int(i))
+		}
+	}
+	return dst
+}
+
+// DeepClone returns a batch sharing no backing storage with the original:
+// every live lane's vectors and matrices are cloned (dead lanes are dropped
+// by compacting the batch first). It is the batch analogue of Row.DeepClone
+// — the required sanitizer when a batch crosses a partition or channel
+// boundary outside the row codec.
+func (b *Batch) DeepClone() *Batch {
+	out := &Batch{Cols: make([]Col, len(b.Cols)), N: b.Live()}
+	for j := range b.Cols {
+		src := &b.Cols[j]
+		dst := &out.Cols[j]
+		clone := func(i int) {
+			dst.AppendFrom(src, i)
+			// AppendFrom shares cells; deep-copy the lane just appended.
+			n := dst.Len() - 1
+			if dst.Generic {
+				dst.Any[n] = dst.Any[n].DeepClone()
+				return
+			}
+			switch dst.Kind {
+			case KindVector:
+				dst.Vec[n] = dst.Vec[n].Clone()
+			case KindMatrix:
+				dst.Mat[n] = dst.Mat[n].Clone()
+			}
+		}
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				clone(i)
+			}
+		} else {
+			for _, i := range b.Sel {
+				clone(int(i))
+			}
+		}
+	}
+	return out
+}

@@ -3,7 +3,9 @@
 # project-specific lalint analysis suite, the test suite, the race detector
 # over the concurrent packages (the simulated cluster, the executor, the
 # BLAS-like kernels, the server, and the benchmark harness that drives them),
-# the benchmark smokes, and the end-to-end server smoke.
+# the batch-executor equivalence tests under the race detector, the benchmark
+# smokes (including the row-vs-batch identity sweep), and the end-to-end
+# server smoke.
 #
 # Every gate runs even if an earlier one fails (except that a failed build
 # skips the gates that cannot run without a building tree); the run ends with
@@ -49,12 +51,14 @@ if [[ $BUILD_OK == 1 ]]; then
   gate "lalint" go run ./cmd/lalint ./...
   gate "go test" go test -short ./...
   gate "go test -race" go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/ ./internal/fault/ ./internal/serve/ ./internal/core/
+  gate "batch race" go test -race -run Batch -count=1 ./internal/core/ ./internal/exec/ ./internal/value/
   gate "kernel smoke" go run ./cmd/labench -kernels -smoke -out ""
   gate "spill smoke" go run ./cmd/labench -spill -smoke
   gate "faults smoke" go run ./cmd/labench -faults -smoke
+  gate "batch smoke" go run ./cmd/labench -batch -smoke -out ""
   gate "serve smoke" bash scripts/serve_smoke.sh
 else
-  for g in "go vet" "lalint" "go test" "go test -race" "kernel smoke" "spill smoke" "faults smoke" "serve smoke"; do
+  for g in "go vet" "lalint" "go test" "go test -race" "batch race" "kernel smoke" "spill smoke" "faults smoke" "batch smoke" "serve smoke"; do
     skip "$g" "build failed"
   done
 fi
