@@ -27,6 +27,14 @@
 //	labench -batch                            full sweep
 //	labench -batch -smoke                     seconds-long smoke sweep
 //
+// The storage sweep runs a scan+aggregate over a persistent paged table at
+// descending buffer-pool budgets, reopening each data directory mid-sweep,
+// and hard-fails on result divergence, pool overrun, or restart mismatch.
+// It writes BENCH_storage.json:
+//
+//	labench -storage                          full sweep
+//	labench -storage -smoke                   seconds-long smoke sweep
+//
 // The fault sweep runs the same query under deterministic injected faults
 // (crashes, shuffle corruption, spill write failures, stragglers) at several
 // injector seeds and hard-fails unless every transient-only run reproduces
@@ -54,7 +62,8 @@ func main() {
 	batchSweep := flag.Bool("batch", false, "run the row-vs-batch executor sweep instead of the figures")
 	spillSweep := flag.Bool("spill", false, "run the out-of-core spill sweep instead of the figures")
 	faultSweep := flag.Bool("faults", false, "run the deterministic fault-injection sweep instead of the figures")
-	smoke := flag.Bool("smoke", false, "with -kernels, -spill or -faults: tiny sizes for a seconds-long smoke run")
+	storageSweep := flag.Bool("storage", false, "run the persistent-storage buffer-pool sweep instead of the figures")
+	smoke := flag.Bool("smoke", false, "with -kernels, -batch, -spill, -faults or -storage: tiny sizes for a seconds-long smoke run")
 	out := flag.String("out", "BENCH_kernels.json", "with -kernels: JSON output path (empty = don't write)")
 	flag.Parse()
 
@@ -84,6 +93,39 @@ func main() {
 			}
 			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "labench: batch: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return
+	}
+
+	if *storageSweep {
+		scfg := bench.DefaultStorageConfig()
+		if *smoke {
+			scfg = bench.SmokeStorageConfig()
+		}
+		if *seed != 0 {
+			scfg.Seed = *seed
+		}
+		rep, err := bench.RunStorageSweep(scfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "labench: storage: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		path := *out
+		if path == "BENCH_kernels.json" {
+			path = "BENCH_storage.json"
+		}
+		if path != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "labench: storage: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "labench: storage: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", path)

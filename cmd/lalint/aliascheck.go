@@ -26,6 +26,7 @@ var aliasScope = []string{
 	"internal/cluster",
 	"internal/exec",
 	"internal/serve",
+	"internal/storage",
 }
 
 func runAliascheck(pass *Pass) {

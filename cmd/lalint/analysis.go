@@ -61,6 +61,7 @@ var Analyzers = []*Analyzer{
 	ChargecheckAnalyzer,
 	CommitcheckAnalyzer,
 	SpillkeyAnalyzer,
+	PincheckAnalyzer,
 	AliascheckAnalyzer,
 	GocheckAnalyzer,
 }

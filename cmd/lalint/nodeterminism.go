@@ -25,6 +25,7 @@ var nondetScope = []string{
 	"internal/workload",
 	"internal/spill",
 	"internal/fault",
+	"internal/storage",
 }
 
 func runNodeterminism(pass *Pass) {

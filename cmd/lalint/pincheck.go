@@ -1,0 +1,142 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PincheckAnalyzer enforces the buffer pool's pin/unpin contract. pool.fetch
+// returns a pinned Page; a pinned frame cannot be evicted, so every fetch
+// must be paired with exactly one Release before the scan moves on. A handle
+// discarded into the blank identifier can never be unpinned, a handle that
+// reaches no Release on any local path (and does not escape to a new owner)
+// pins its frame until process exit, and a Release deferred inside a loop
+// holds every iteration's pin until the function returns — a partition scan
+// written that way fills the pool with pinned frames and defeats the budget.
+var PincheckAnalyzer = &Analyzer{
+	Name: "pincheck",
+	Doc:  "flags buffer-pool pages that are discarded while pinned, never released, or released only by a defer inside a loop",
+	Run:  runPincheck,
+}
+
+func runPincheck(pass *Pass) {
+	p, r := pass.Pkg, pass.R
+	// The pool API is unexported, so only internal/storage can pin pages.
+	if !pathHasSuffix(p.Path, "internal/storage") {
+		return
+	}
+	for _, f := range p.Files {
+		checkDiscardedPins(p, r, f)
+		checkDeferredReleaseInLoop(p, r, f)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPinLifecycle(p, r, fd)
+			}
+		}
+	}
+}
+
+// isPoolFetch matches pool.fetch, the only pin source.
+func isPoolFetch(p *Pkg, call *ast.CallExpr) bool {
+	return isMethodOf(calleeFunc(p, call), "internal/storage", "pool", "fetch")
+}
+
+// checkDiscardedPins flags a fetch whose page lands in the blank identifier:
+// the pin is taken but the handle is gone, so the frame stays pinned forever.
+func checkDiscardedPins(p *Pkg, r *Reporter, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPoolFetch(p, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+			r.Reportf(call.Pos(), "fetched page discarded into _; the pin can never be released and the frame is stuck in the pool")
+		}
+		return true
+	})
+}
+
+// checkDeferredReleaseInLoop flags defer page.Release() inside a for/range
+// loop: the deferred unpins only run at return, so a scan accumulates one
+// pinned frame per iteration.
+func checkDeferredReleaseInLoop(p *Pkg, r *Reporter, f *ast.File) {
+	inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if !isMethodOf(calleeFunc(p, def.Call), "internal/storage", "Page", "Release") {
+			return true
+		}
+		if inLoop(stack) {
+			r.Reportf(def.Pos(), "Release deferred inside a loop holds every iteration's pin until the function returns; release the page before the next iteration")
+		}
+		return true
+	})
+}
+
+// checkPinLifecycle flags, per function declaration, fetched pages that never
+// reach Release. A handle that escapes — returned, stored in a field/slice/
+// map, passed to another call — transfers the unpin obligation to its new
+// owner and is not flagged.
+func checkPinLifecycle(p *Pkg, r *Reporter, fd *ast.FuncDecl) {
+	type handle struct {
+		id *ast.Ident
+		ok bool // released or escaped
+	}
+	handles := map[types.Object]*handle{}
+
+	// Collect handles created by this function: pg, err := pool.fetch(...).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPoolFetch(p, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := identObj(p, id); obj != nil {
+				handles[obj] = &handle{id: id}
+			}
+		}
+		return true
+	})
+	if len(handles) == 0 {
+		return
+	}
+
+	// Release method calls discharge the obligation; any use that is not a
+	// method/field access on the handle is an escape.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		h := handles[p.Info.Uses[id]]
+		if h == nil || h.ok {
+			return true
+		}
+		use := enclosingUse(fd, id)
+		if sel, ok := use.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Release" {
+				h.ok = true
+			}
+			return true
+		}
+		// Not a selector receiver: returned, appended, assigned into a
+		// structure, passed as an argument — ownership moved.
+		h.ok = true
+		return true
+	})
+	for _, h := range handles {
+		if !h.ok {
+			r.Reportf(h.id.Pos(), "page %q is fetched but never released; the frame stays pinned and the pool cannot evict it", h.id.Name)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Deliberately broken fixtures: buffer-pool pins that are discarded, leak,
+// or are released only by a defer inside a loop. The miniature pool API at
+// the bottom mirrors the real one — what matters to the checker is the
+// pool.fetch / Page.Release shape at an internal/storage import path.
+package storage
+
+import "errors"
+
+// discardedPin fetches into the blank identifier: the pin is taken but the
+// handle is gone, so the frame can never be unpinned.
+func discardedPin(p *pool, pi pageInfo) error {
+	_, err := p.fetch(pi)
+	return err
+}
+
+// leakyPin decodes the page but never releases it: the frame stays pinned
+// and the pool can never evict it.
+func leakyPin(p *pool, pi pageInfo) (int, error) {
+	pg, err := p.fetch(pi)
+	if err != nil {
+		return 0, err
+	}
+	return len(pg.Data()), nil
+}
+
+// deferredInLoop pins every page of the partition before any unpin runs:
+// the deferred releases fire only at return, so the pool fills up.
+func deferredInLoop(p *pool, pages []pageInfo) (int, error) {
+	total := 0
+	for _, pi := range pages {
+		pg, err := p.fetch(pi)
+		if err != nil {
+			return 0, err
+		}
+		defer pg.Release()
+		total += len(pg.Data())
+	}
+	return total, nil
+}
+
+// frame is one cached page image with its pin count.
+type frame struct {
+	data []byte
+	pins int
+}
+
+// pool caches page images keyed by slot.
+type pool struct {
+	frames map[uint32]*frame
+}
+
+// pageInfo addresses one committed page.
+type pageInfo struct {
+	Slot uint32
+}
+
+// Page is a pinned handle on a cached page image.
+type Page struct {
+	fr *frame
+}
+
+// fetch returns a pinned handle; callers must Release it.
+func (p *pool) fetch(pi pageInfo) (*Page, error) {
+	fr, ok := p.frames[pi.Slot]
+	if !ok {
+		return nil, errors.New("storage: no frame for slot")
+	}
+	fr.pins++
+	return &Page{fr: fr}, nil
+}
+
+// Data returns the page image. Valid only while the page is pinned.
+func (pg *Page) Data() []byte { return pg.fr.data }
+
+// Release unpins the page. Safe to call more than once.
+func (pg *Page) Release() {
+	if pg.fr == nil {
+		return
+	}
+	pg.fr.pins--
+	pg.fr = nil
+}

@@ -1,0 +1,97 @@
+// Clean fixtures: every fetched page is released on every path, deferred
+// releases stay at function scope, and a handle that escapes to a new owner
+// carries its unpin obligation with it.
+package storage
+
+import "errors"
+
+// pinAndDecode releases the page as soon as the payload has been read.
+func pinAndDecode(p *pool, pi pageInfo) (int, error) {
+	pg, err := p.fetch(pi)
+	if err != nil {
+		return 0, err
+	}
+	n := len(pg.Data())
+	pg.Release()
+	return n, nil
+}
+
+// deferredAtFunctionScope holds one pin for the function body — the defer is
+// outside any loop, so pins do not accumulate.
+func deferredAtFunctionScope(p *pool, pi pageInfo) (int, error) {
+	pg, err := p.fetch(pi)
+	if err != nil {
+		return 0, err
+	}
+	defer pg.Release()
+	return len(pg.Data()), nil
+}
+
+// releasePerIteration unpins each page before fetching the next, so the scan
+// holds at most one pin at a time.
+func releasePerIteration(p *pool, pages []pageInfo) (int, error) {
+	total := 0
+	for _, pi := range pages {
+		pg, err := p.fetch(pi)
+		if err != nil {
+			return 0, err
+		}
+		total += len(pg.Data())
+		pg.Release()
+	}
+	return total, nil
+}
+
+// escapes hands the pinned page to a caller-owned sink: ownership (and the
+// Release obligation) moves with it.
+func escapes(p *pool, pi pageInfo, sink *[]*Page) error {
+	pg, err := p.fetch(pi)
+	if err != nil {
+		return err
+	}
+	*sink = append(*sink, pg)
+	return nil
+}
+
+// frame is one cached page image with its pin count.
+type frame struct {
+	data []byte
+	pins int
+}
+
+// pool caches page images keyed by slot.
+type pool struct {
+	frames map[uint32]*frame
+}
+
+// pageInfo addresses one committed page.
+type pageInfo struct {
+	Slot uint32
+}
+
+// Page is a pinned handle on a cached page image.
+type Page struct {
+	fr *frame
+}
+
+// fetch returns a pinned handle; callers must Release it.
+func (p *pool) fetch(pi pageInfo) (*Page, error) {
+	fr, ok := p.frames[pi.Slot]
+	if !ok {
+		return nil, errors.New("storage: no frame for slot")
+	}
+	fr.pins++
+	return &Page{fr: fr}, nil
+}
+
+// Data returns the page image. Valid only while the page is pinned.
+func (pg *Page) Data() []byte { return pg.fr.data }
+
+// Release unpins the page. Safe to call more than once.
+func (pg *Page) Release() {
+	if pg.fr == nil {
+		return
+	}
+	pg.fr.pins--
+	pg.fr = nil
+}

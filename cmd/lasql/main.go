@@ -48,6 +48,9 @@ func main() {
 	clientAddr := flag.String("client", "", "run against a lasql server at this address instead of in-process")
 	maxConc := flag.Int("max-concurrent", 4, "with -serve: statements executing at once; others wait for admission")
 	memPool := flag.Int64("mem-pool", 0, "with -serve: shared spill memory pool in bytes (0 inherits config, <0 unlimited)")
+	dataDir := flag.String("data", "", "persistent data directory: tables live in paged files and survive restarts (empty: in-memory)")
+	poolBytes := flag.Int64("pool-bytes", 0, "with -data: buffer-pool budget in bytes (0: storage default)")
+	pageBytes := flag.Int("page-bytes", 0, "with -data: page slot size for a fresh directory (0: storage default; an existing directory's manifest wins)")
 	var loads, dumps assignFlags
 	flag.Var(&loads, "load", "load CSV (with header) into a table after -init, before the script: table=path (repeatable)")
 	flag.Var(&dumps, "dump", "dump a table to CSV after the script: table=path (repeatable)")
@@ -64,7 +67,17 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Cluster.Nodes = *nodes
 	cfg.Cluster.PartitionsPerNode = *perNode
-	db := core.Open(cfg)
+	cfg.DataDir = *dataDir
+	cfg.BufferPoolBytes = *poolBytes
+	cfg.PageBytes = *pageBytes
+	db, err := core.OpenData(cfg)
+	if err != nil {
+		// Fail fast with the storage layer's diagnosis: unwritable directory,
+		// foreign lock, or format/page-size mismatch.
+		fmt.Fprintf(os.Stderr, "lasql: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() { _ = db.Close() }()
 
 	doLoads := func() {
 		for _, spec := range loads {
@@ -135,7 +148,6 @@ func main() {
 	}
 
 	var src []byte
-	var err error
 	if flag.NArg() > 0 {
 		src, err = os.ReadFile(flag.Arg(0))
 	} else {

@@ -106,6 +106,19 @@ func (m *TableMeta) Distinct(col string) float64 {
 	return 1
 }
 
+// DistinctMap returns a copy of the raw per-column distinct estimates (no
+// row-count defaulting, unlike Distinct). The storage layer journals it as
+// part of the table metadata so statistics survive restarts.
+func (m *TableMeta) DistinctMap() map[string]float64 {
+	m.statMu.RLock()
+	defer m.statMu.RUnlock()
+	out := make(map[string]float64, len(m.distinctEst))
+	for k, v := range m.distinctEst {
+		out[k] = v
+	}
+	return out
+}
+
 // SetDistinct records a distinct-value estimate for a column.
 func (m *TableMeta) SetDistinct(col string, n float64) {
 	m.statMu.Lock()

@@ -225,6 +225,17 @@ func (c *Cluster) SpillWriteFault(label string, attempt int) error {
 	return nil
 }
 
+// StorageWriteFault is the torn-write injection point for the paged storage
+// engine; the core wires it into the store's write hook. Unlike spill
+// faults, a fired draw is a simulated crash, not a retryable error.
+func (c *Cluster) StorageWriteFault(seq int64, n int) (keep int, fail bool) {
+	keep, fail = c.injector.StorageWrite(seq, n)
+	if fail {
+		c.stats.FaultsInjected.Add(1)
+	}
+	return keep, fail
+}
+
 // TaskObserver receives retry-related events from the task runner. The zero
 // value observes nothing.
 type TaskObserver struct {

@@ -25,6 +25,7 @@ import (
 	"relalg/internal/plan"
 	"relalg/internal/spill"
 	"relalg/internal/sqlparse"
+	"relalg/internal/storage"
 	"relalg/internal/types"
 	"relalg/internal/value"
 )
@@ -45,6 +46,19 @@ type Config struct {
 	// this many rows as per-column arrays with selection vectors. 0 (the
 	// default) keeps the row-at-a-time executor; see exec.Context.BatchSize.
 	BatchSize int
+	// DataDir, when non-empty, opens persistent paged storage at that
+	// directory: tables live in compressed columnar page files behind a
+	// buffer pool and survive restarts bit-identically. Empty (the default)
+	// keeps all tables in memory. Persistent databases should be opened with
+	// OpenData (Open panics on storage errors) and released with Close.
+	DataDir string
+	// BufferPoolBytes bounds the storage buffer pool when DataDir is set;
+	// 0 means storage.DefaultPoolBytes.
+	BufferPoolBytes int64
+	// PageBytes is the storage page slot size when DataDir is set; 0 means
+	// storage.DefaultPageBytes for a fresh directory, and an existing
+	// directory's manifest always wins.
+	PageBytes int
 }
 
 // DefaultConfig simulates the paper's 10-node cluster with the full
@@ -63,25 +77,78 @@ type Database struct {
 	cat *catalog.Catalog
 	cl  *cluster.Cluster
 
+	// store is the persistent paged store (nil for in-memory databases).
+	// When set, db.tables is unused: all table data lives in the store.
+	store *storage.Store
+
 	mu     sync.RWMutex
 	tables map[string][][]value.Row
 	nextRR map[string]int // round-robin insert cursor per table
 }
 
-// Open creates an empty database.
+// Open creates a database. It panics when Config.DataDir is set and the
+// store fails to open; persistent callers should use OpenData and handle
+// the error.
 //
 // Open no longer touches the process-wide linalg worker default: the kernel
 // budget flows per query through exec.Context.KernelWorkers, so two Opens in
 // one process cannot stomp each other's parallelism.
 func Open(cfg Config) *Database {
-	return &Database{
+	return mustOpen(OpenData(cfg))
+}
+
+// mustOpen is Open's panicking error funnel. With an empty DataDir OpenData
+// cannot fail, so in-memory callers never see the panic.
+func mustOpen(db *Database, err error) *Database {
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// OpenData creates a database, opening the persistent paged store when
+// cfg.DataDir is set and replaying the catalog from its journaled metadata.
+// It fails fast when the directory is unwritable, locked by another process,
+// or was written with an incompatible format version or page size.
+func OpenData(cfg Config) (*Database, error) {
+	db := &Database{
 		cfg:    cfg,
 		cat:    catalog.New(),
 		cl:     cluster.New(cfg.Cluster),
 		tables: map[string][][]value.Row{},
 		nextRR: map[string]int{},
 	}
+	if cfg.DataDir == "" {
+		return db, nil
+	}
+	st, err := storage.Open(cfg.DataDir, storage.Options{
+		PageBytes:  cfg.PageBytes,
+		PoolBytes:  cfg.BufferPoolBytes,
+		WriteFault: db.cl.StorageWriteFault,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.store = st
+	if err := db.replayCatalog(); err != nil {
+		_ = st.Close()
+		return nil, err
+	}
+	return db, nil
 }
+
+// Close releases the persistent store, if any. Committed data is already
+// durable; like a crash, any uncommitted appends are discarded.
+func (db *Database) Close() error {
+	if db.store != nil {
+		return db.store.Close()
+	}
+	return nil
+}
+
+// Store exposes the persistent store (nil for in-memory databases); the
+// serving layer and benchmarks read buffer-pool stats from it.
+func (db *Database) Store() *storage.Store { return db.store }
 
 // Catalog exposes the metadata registry.
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
@@ -253,8 +320,7 @@ func (db *Database) createTable(ct *sqlparse.CreateTable) error {
 	if err := db.cat.CreateTable(meta); err != nil {
 		return err
 	}
-	db.tables[meta.Name] = make([][]value.Row, db.cl.Partitions())
-	return nil
+	return db.registerTableLocked(meta)
 }
 
 // createTableAs materializes a query result as a new table (CREATE TABLE
@@ -287,11 +353,15 @@ func (db *Database) createTableAs(ct *sqlparse.CreateTableAs, rsrc Resources) er
 		db.mu.Unlock()
 		return err
 	}
-	db.tables[meta.Name] = make([][]value.Row, db.cl.Partitions())
+	if err := db.registerTableLocked(meta); err != nil {
+		db.mu.Unlock()
+		return err
+	}
 	db.mu.Unlock()
-	db.appendRows(meta.Name, res.Rows)
-	db.analyzeLocked(meta)
-	return nil
+	if err := db.appendRows(meta.Name, res.Rows); err != nil {
+		return err
+	}
+	return db.analyze(meta)
 }
 
 func (db *Database) createView(cv *sqlparse.CreateView) error {
@@ -331,8 +401,7 @@ func (db *Database) insert(ins *sqlparse.Insert) error {
 		}
 		rows = append(rows, row)
 	}
-	db.appendRows(meta.Name, rows)
-	return nil
+	return db.appendRows(meta.Name, rows)
 }
 
 // LoadTable bulk-loads rows into a table, validating and coercing each value
@@ -359,14 +428,18 @@ func (db *Database) LoadTable(name string, rows []value.Row) error {
 		}
 		checked[ri] = nr
 	}
-	db.appendRows(meta.Name, checked)
-	db.analyzeLocked(meta)
-	return nil
+	if err := db.appendRows(meta.Name, checked); err != nil {
+		return err
+	}
+	return db.analyze(meta)
 }
 
-func (db *Database) appendRows(name string, rows []value.Row) {
+func (db *Database) appendRows(name string, rows []value.Row) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.store != nil {
+		return db.appendStoredLocked(name, rows)
+	}
 	parts := db.tables[name]
 	if parts == nil {
 		parts = make([][]value.Row, db.cl.Partitions())
@@ -384,7 +457,7 @@ func (db *Database) appendRows(name string, rows []value.Row) {
 			}
 			db.tables[name] = parts
 			db.cat.AddRowCount(name, int64(len(rows)))
-			return
+			return nil
 		}
 	}
 	cursor := db.nextRR[name]
@@ -395,36 +468,66 @@ func (db *Database) appendRows(name string, rows []value.Row) {
 	db.nextRR[name] = cursor
 	db.tables[name] = parts
 	db.cat.AddRowCount(name, int64(len(rows)))
+	return nil
 }
 
-// analyzeLocked recomputes per-column distinct estimates for scalar columns.
-func (db *Database) analyzeLocked(meta *catalog.TableMeta) {
-	db.mu.RLock()
-	parts := db.tables[meta.Name]
-	db.mu.RUnlock()
-	const cap = 1 << 20
+// analyze recomputes per-column distinct estimates for scalar columns and,
+// for persistent tables, journals the refreshed statistics so they survive
+// restarts.
+func (db *Database) analyze(meta *catalog.TableMeta) error {
+	const distinctCap = 1 << 20
+	var cols []int
 	for ci, col := range meta.Schema.Cols {
 		switch col.Type.Base {
 		case types.Int, types.Double, types.String, types.Bool:
-		default:
-			continue
+			cols = append(cols, ci)
 		}
-		seen := map[string]struct{}{}
-		full := true
-		for _, p := range parts {
-			for _, r := range p {
-				seen[r[ci].String()] = struct{}{}
-				if len(seen) >= cap {
-					full = false
-					break
+	}
+	if len(cols) > 0 {
+		seen := make([]map[string]struct{}, len(cols))
+		for i := range seen {
+			seen[i] = map[string]struct{}{}
+		}
+		scan := func(r value.Row) {
+			for i, ci := range cols {
+				if len(seen[i]) < distinctCap {
+					seen[i][r[ci].String()] = struct{}{}
 				}
 			}
-			if !full {
-				break
+		}
+		if db.store != nil {
+			tb, ok := db.store.Table(meta.Name)
+			if !ok {
+				return fmt.Errorf("core: table %q has no storage", meta.Name)
+			}
+			for part := 0; part < tb.Parts(); part++ {
+				if err := tb.ScanPart(part, func(rows []value.Row) error {
+					for _, r := range rows {
+						scan(r)
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		} else {
+			db.mu.RLock()
+			parts := db.tables[meta.Name]
+			db.mu.RUnlock()
+			for _, p := range parts {
+				for _, r := range p {
+					scan(r)
+				}
 			}
 		}
-		db.cat.SetDistinct(meta.Name, col.Name, float64(len(seen)))
+		for i, ci := range cols {
+			db.cat.SetDistinct(meta.Name, meta.Schema.Cols[ci].Name, float64(len(seen[i])))
+		}
 	}
+	if db.store != nil {
+		return db.persistMetaBlob(meta)
+	}
+	return nil
 }
 
 // coerce fits a runtime value to a declared column type.
@@ -487,14 +590,24 @@ func coerce(v value.Value, decl types.T) (value.Value, error) {
 func (db *Database) drop(d *sqlparse.DropTable) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if !db.cat.Drop(d.Name) {
+	name := strings.ToLower(d.Name)
+	// Drop the storage before the catalog entry: if the store is poisoned
+	// the table stays visible, matching what a reopen will recover. Views
+	// have no storage.
+	_, isTable := db.cat.Table(name)
+	if db.store != nil && isTable {
+		if err := db.store.DropTable(name); err != nil {
+			return err
+		}
+	}
+	if !db.cat.Drop(name) {
 		if d.IfExists {
 			return nil
 		}
 		return fmt.Errorf("core: unknown table or view %q", d.Name)
 	}
-	delete(db.tables, strings.ToLower(d.Name))
-	delete(db.nextRR, strings.ToLower(d.Name))
+	delete(db.tables, name)
+	delete(db.nextRR, name)
 	return nil
 }
 
@@ -602,8 +715,26 @@ func (db *Database) ExecutePlanned(optimized plan.Node, rsrc Resources) (res *Re
 	}, nil
 }
 
-// TableParts implements exec.TableSource.
+// TableParts implements exec.TableSource. For persistent databases it
+// materializes the stored partitions — the fused pipeline avoids this path
+// via TablePager, but re-spread scans and the unfused executor still need
+// whole partitions in memory.
 func (db *Database) TableParts(name string) ([][]value.Row, error) {
+	if db.store != nil {
+		tb, ok := db.store.Table(strings.ToLower(name))
+		if !ok {
+			return nil, fmt.Errorf("core: table %q has no storage", name)
+		}
+		parts := make([][]value.Row, tb.Parts())
+		for i := range parts {
+			rows, err := tb.MaterializePart(i)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = rows
+		}
+		return parts, nil
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	parts, ok := db.tables[strings.ToLower(name)]

@@ -264,16 +264,23 @@ func scanParts(ctx *Context, s *plan.Scan) ([][]value.Row, []string, error) {
 		// Re-spread (e.g. when a table was loaded under a different layout).
 		return ctx.Cluster.ScatterRoundRobin(flatten(parts)), nil, nil
 	}
-	if s.Table.PartitionCol != "" {
-		// A declared hash-partitioned table scans out pre-placed: advertise
-		// the partitioning so joins/groupings on the column skip their
-		// shuffle (the paper's "R was already partitioned on the join key").
-		if idx := s.Table.Schema.IndexOf(s.Table.PartitionCol); idx >= 0 && idx < len(s.Out) {
-			keyCol := &plan.Col{Idx: idx, Name: s.Out[idx].Name, T: s.Out[idx].T}
-			return parts, []string{keyCol.String()}, nil
-		}
+	return parts, scanHashKeys(s), nil
+}
+
+// scanHashKeys returns the hash keys a layout-matching scan may advertise:
+// a declared hash-partitioned table scans out pre-placed, so joins and
+// groupings on the column skip their shuffle (the paper's "R was already
+// partitioned on the join key"). Shared by the materialized and paged paths.
+func scanHashKeys(s *plan.Scan) []string {
+	if s.Table.PartitionCol == "" {
+		return nil
 	}
-	return parts, nil, nil
+	idx := s.Table.Schema.IndexOf(s.Table.PartitionCol)
+	if idx < 0 || idx >= len(s.Out) {
+		return nil
+	}
+	keyCol := &plan.Col{Idx: idx, Name: s.Out[idx].Name, T: s.Out[idx].T}
+	return []string{keyCol.String()}
 }
 
 func flatten(parts [][]value.Row) []value.Row {

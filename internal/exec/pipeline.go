@@ -71,6 +71,11 @@ func runPipeline(ctx *Context, sp *plan.Pipeline) (*Relation, error) {
 // pushes its N down so each partition stops producing — and charging — at N
 // rows, truncating inside a batch via the selection vector.
 func runPipelineLimited(ctx *Context, sp *plan.Pipeline, limit int) (*Relation, error) {
+	// A paged table source streams the scan through the buffer pool instead
+	// of materializing partitions; see paged.go.
+	if pt := pagedScan(ctx, sp.Scan); pt != nil {
+		return runPipelinePaged(ctx, sp, pt, limit)
+	}
 	defer ctx.Timings.Track("pipeline")()
 	parts, keys, err := scanParts(ctx, sp.Scan)
 	if err != nil {

@@ -67,6 +67,22 @@ type Config struct {
 	// StragglerProb marks a task attempt as a straggler: it is delayed by
 	// StragglerDelay, and (with Speculate) a backup attempt races it.
 	StragglerProb float64
+	// TornWriteProb injects a torn storage write: a physical write to the
+	// paged storage engine (a data page or a journal frame) is truncated to
+	// a seeded prefix and the process is treated as crashed. Unlike the
+	// transient faults above this is NOT retryable — it simulates losing
+	// power mid-write — so the store fails the operation and recovery on the
+	// next Open must discard exactly the unfinished tail. The draw is keyed
+	// by the write's sequence number, so a given seed crashes at the same
+	// write every run. Depending on where the cut lands, replay observes
+	// either a short read (a frame or page header cut mid-field) or a torn
+	// frame (a complete-looking length prefix whose payload checksum fails);
+	// both must recover to the last committed state.
+	TornWriteProb float64
+	// StorageFailAfter, when > 0, deterministically tears the Nth storage
+	// write (1-based) regardless of TornWriteProb — the knob the recovery
+	// tests sweep to place a crash at every page and journal-frame boundary.
+	StorageFailAfter int64
 	// StragglerDelay is the injected slowdown; 0 means a small default.
 	StragglerDelay time.Duration
 	// Speculate re-launches straggler attempts speculatively: the original
@@ -79,7 +95,8 @@ type Config struct {
 // Enabled reports whether any injection point is active.
 func (c Config) Enabled() bool {
 	return c.CrashProb > 0 || c.PermanentProb > 0 || c.ShuffleProb > 0 ||
-		c.SpillProb > 0 || c.StragglerProb > 0
+		c.SpillProb > 0 || c.StragglerProb > 0 || c.TornWriteProb > 0 ||
+		c.StorageFailAfter > 0
 }
 
 // Attempts returns the effective per-task attempt bound.
@@ -240,6 +257,31 @@ func (in *Injector) SpillWrite(label string, attempt int) error {
 			Detail: fmt.Sprintf("run %q attempt %d", label, attempt)}
 	}
 	return nil
+}
+
+// StorageWrite decides whether the seq'th physical storage write (1-based;
+// n payload bytes) is torn. When it fires, keep is the deterministic number
+// of bytes (in [0, n)) that reach the file before the simulated crash: the
+// store writes the prefix, fails the operation, and refuses further writes —
+// recovery at the next Open discards the torn tail. A keep that lands inside
+// a header simulates a short read at replay; one that lands inside a payload
+// leaves a checksum-corrupt torn frame.
+func (in *Injector) StorageWrite(seq int64, n int) (keep int, fail bool) {
+	if in == nil || n < 0 {
+		return 0, false
+	}
+	fire := in.cfg.StorageFailAfter > 0 && seq == in.cfg.StorageFailAfter
+	if !fire && in.cfg.TornWriteProb > 0 {
+		fire = in.draw("torn-write", uint64(seq), 0, 0) < in.cfg.TornWriteProb
+	}
+	if !fire {
+		return 0, false
+	}
+	if n == 0 {
+		return 0, true
+	}
+	cut := in.draw("torn-write-cut", uint64(seq), 0, 0)
+	return int(cut * float64(n)), true
 }
 
 // Straggle returns the injected delay for task (op, part) at attempt, or 0.

@@ -7,14 +7,14 @@
 // external merge sort — bounded memory over unbounded data, the property the
 // paper's "Fail" table entries show the comparison systems losing.
 //
-// Run files are block-framed so read-back is buffered, not row-at-a-time IO:
-//
-//	run   := block*
-//	block := u32 payloadBytes, u32 rowCount, payload
-//
-// where payload is rowCount rows in the value package's binary row encoding
-// (the same codec shuffles use, so a spilled row round-trips bit-identically
-// — NaN payloads, labels, and matrix shapes included).
+// Run files are block-framed so read-back is buffered, not row-at-a-time IO.
+// The framing is the shared internal/blockio format (a versioned file header
+// followed by checksummed frames, the same layer the storage engine's
+// journal uses): each frame's payload is aux=rowCount rows in the value
+// package's binary row encoding (the same codec shuffles use, so a spilled
+// row round-trips bit-identically — NaN payloads, labels, and matrix shapes
+// included), and the per-frame checksum turns silent temp-file corruption
+// into a diagnosable decode error instead of garbage rows.
 //
 // All temp files of one query live in one MkdirTemp directory that
 // Manager.Close removes at query end; the file-count accounting lets tests
@@ -23,13 +23,13 @@ package spill
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"relalg/internal/blockio"
 	"relalg/internal/value"
 )
 
@@ -37,8 +37,22 @@ import (
 // cleanup tests key on it.
 const DirPrefix = "relalg-spill-"
 
-// blockBytes is the target encoded payload size of one run-file block.
-const blockBytes = 256 << 10
+// The run-file header: spill runs are process-lifetime temp files, but the
+// header still versions the format so a stale run from a crashed previous
+// build can never be mis-decoded.
+const (
+	runMagic   = "LASPILL1"
+	runVersion = 1
+)
+
+// blockBytes is the target encoded payload size of one run-file block;
+// maxBlockPayload caps what a reader will allocate for a frame (one giant
+// row can legitimately exceed the target, but a corrupt length prefix is
+// caught by the frame checksum and this bound).
+const (
+	blockBytes      = 256 << 10
+	maxBlockPayload = 1 << 30
+)
 
 // Hooks receive the spill layer's accounting events; either field may be nil.
 // The executor wires them to the cluster's SpillEvents/BytesSpilled counters
@@ -189,6 +203,13 @@ func (m *Manager) NewWriterAt(label string, attempt int) (*Writer, error) {
 	if m.hooks.WriteFault != nil {
 		w.fail = m.hooks.WriteFault(label, attempt)
 	}
+	if err := blockio.WriteHeader(w.bw, blockio.Header{Magic: runMagic, Version: runVersion}); err != nil {
+		_ = w.f.Close()
+		_ = os.Remove(path)
+		m.fileRemoved()
+		return nil, fmt.Errorf("spill: write run header: %w", err)
+	}
+	w.bytes += blockio.HeaderLen
 	return w, nil
 }
 
@@ -246,16 +267,11 @@ func (w *Writer) flushBlock() error {
 	}
 	stop := w.m.track()
 	defer stop()
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(w.block)))
-	binary.LittleEndian.PutUint32(hdr[4:], w.nrows)
-	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("spill: write block header: %w", err)
-	}
-	if _, err := w.bw.Write(w.block); err != nil {
+	n, err := blockio.WriteFrame(w.bw, w.nrows, w.block)
+	if err != nil {
 		return fmt.Errorf("spill: write block: %w", err)
 	}
-	w.bytes += int64(len(w.block)) + 8
+	w.bytes += n
 	w.block = w.block[:0]
 	w.nrows = 0
 	return nil
@@ -318,7 +334,12 @@ func (r *Run) Reader() (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spill: open run: %w", err)
 	}
-	return &Reader{m: r.m, f: f, br: bufio.NewReaderSize(f, 64<<10)}, nil
+	br := bufio.NewReaderSize(f, 64<<10)
+	if _, err := blockio.ReadHeader(br, runMagic, runVersion); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("spill: open run: %w", err)
+	}
+	return &Reader{m: r.m, f: f, br: br}, nil
 }
 
 // Remove deletes the run file; the manager's Close catches anything the
@@ -360,21 +381,15 @@ func (r *Reader) Next() (value.Row, bool, error) {
 func (r *Reader) readBlock() (bool, error) {
 	stop := r.m.track()
 	defer stop()
-	var hdr [8]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+	buf, nrowsU32, err := blockio.ReadFrame(r.br, maxBlockPayload)
+	if err != nil {
 		if err == io.EOF {
 			return false, nil
 		}
-		return false, fmt.Errorf("spill: read block header: %w", err)
-	}
-	payload := int(binary.LittleEndian.Uint32(hdr[:4]))
-	nrows := int(binary.LittleEndian.Uint32(hdr[4:]))
-	buf := make([]byte, payload)
-	if _, err := io.ReadFull(r.br, buf); err != nil {
 		return false, fmt.Errorf("spill: read block: %w", err)
 	}
+	nrows := int(nrowsU32)
 	rows := make([]value.Row, nrows)
-	var err error
 	for i := range rows {
 		rows[i], buf, err = value.DecodeRow(buf)
 		if err != nil {

@@ -1,0 +1,159 @@
+// Float-array compression for the page codec. VECTOR and MATRIX payloads
+// dominate stored-table bytes, and the workloads the paper cares about are
+// often sparse (blocked matrices with empty borders, one-hot feature
+// vectors) or locally smooth, so pages compress the float arrays with two
+// run encodings over the raw IEEE-754 bit patterns:
+//
+//	stream  := token*
+//	token   := 0x00, uvarint n                    n zeros (+0.0 exactly)
+//	         | 0x01, uvarint n, n × 8 bytes       literal run
+//	         | 0x02, uvarint n, first 8 bytes,    delta run: zigzag-varint
+//	           (n-1) × svarint                    diffs of the bit patterns
+//
+// Working on bit patterns (not values) makes the round trip exact for every
+// payload — NaN bit patterns, ±Inf, -0.0, and denormals survive unchanged —
+// which the restart acceptance test (EncodeRows-exact equality) depends on.
+// Only +0.0 (bit pattern zero) joins a zero run; -0.0 has a different
+// pattern and flows through the literal/delta paths. Deltas wrap in two's
+// complement, so the diff of any two patterns round-trips.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+const (
+	tokZeroRun = 0x00
+	tokLiteral = 0x01
+	tokDelta   = 0x02
+)
+
+// appendFloats appends the compressed encoding of data to dst.
+func appendFloats(dst []byte, data []float64) []byte {
+	i := 0
+	for i < len(data) {
+		if math.Float64bits(data[i]) == 0 {
+			j := i
+			for j < len(data) && math.Float64bits(data[j]) == 0 {
+				j++
+			}
+			dst = append(dst, tokZeroRun)
+			dst = binary.AppendUvarint(dst, uint64(j-i))
+			i = j
+			continue
+		}
+		j := i
+		for j < len(data) && math.Float64bits(data[j]) != 0 {
+			j++
+		}
+		dst = appendNonZeroRun(dst, data[i:j])
+		i = j
+	}
+	return dst
+}
+
+// appendNonZeroRun encodes one maximal run of non-zero-pattern floats,
+// choosing delta when it is strictly smaller than the literal encoding.
+func appendNonZeroRun(dst []byte, run []float64) []byte {
+	deltaBytes := 8
+	prev := int64(math.Float64bits(run[0]))
+	for _, x := range run[1:] {
+		cur := int64(math.Float64bits(x))
+		deltaBytes += uvarintLen(zigzag(cur - prev))
+		prev = cur
+	}
+	if deltaBytes < 8*len(run) {
+		dst = append(dst, tokDelta)
+		dst = binary.AppendUvarint(dst, uint64(len(run)))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(run[0]))
+		prev = int64(math.Float64bits(run[0]))
+		for _, x := range run[1:] {
+			cur := int64(math.Float64bits(x))
+			dst = binary.AppendUvarint(dst, zigzag(cur-prev))
+			prev = cur
+		}
+		return dst
+	}
+	dst = append(dst, tokLiteral)
+	dst = binary.AppendUvarint(dst, uint64(len(run)))
+	for _, x := range run {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// decodeFloats decodes exactly n floats from the head of buf into dst
+// (which must have length n), returning the remaining bytes.
+func decodeFloats(dst []float64, buf []byte) ([]byte, error) {
+	i := 0
+	for i < len(dst) {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("storage: short float stream (decoded %d of %d)", i, len(dst))
+		}
+		tok := buf[0]
+		buf = buf[1:]
+		n, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return nil, fmt.Errorf("storage: bad run length in float stream")
+		}
+		buf = buf[w:]
+		if n == 0 || n > uint64(len(dst)-i) {
+			return nil, fmt.Errorf("storage: float run of %d overflows remaining %d entries", n, len(dst)-i)
+		}
+		switch tok {
+		case tokZeroRun:
+			for k := uint64(0); k < n; k++ {
+				dst[i] = 0
+				i++
+			}
+		case tokLiteral:
+			if uint64(len(buf)) < 8*n {
+				return nil, fmt.Errorf("storage: short literal float run")
+			}
+			for k := uint64(0); k < n; k++ {
+				dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+				buf = buf[8:]
+				i++
+			}
+		case tokDelta:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("storage: short delta float run")
+			}
+			bits := int64(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+			dst[i] = math.Float64frombits(uint64(bits))
+			i++
+			for k := uint64(1); k < n; k++ {
+				d, w := binary.Uvarint(buf)
+				if w <= 0 {
+					return nil, fmt.Errorf("storage: bad delta in float run")
+				}
+				buf = buf[w:]
+				bits += unzigzag(d)
+				dst[i] = math.Float64frombits(uint64(bits))
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("storage: unknown float-stream token %#x", tok)
+		}
+	}
+	return buf, nil
+}
+
+// zigzag maps a signed delta onto an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvarintLen returns the encoded size of u as a uvarint.
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}

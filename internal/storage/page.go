@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"relalg/internal/blockio"
+)
+
+// Pages are the unit of table-file IO and buffer-pool caching. A page image
+// is a fixed 32-byte header followed by a row payload; images are addressed
+// by slot (offset = file header + slot*pageBytes) and a page whose payload
+// outgrows one slot simply claims the next slots too, so slot addressing
+// stays fixed-size while oversized rows (a big MATRIX cell) remain storable.
+//
+// Layout (little endian):
+//
+//	page   := u32 magic, u16 version, u16 flags, u32 part,
+//	          u32 nrows, u32 payloadLen, u32 reserved, u64 checksum,
+//	          payload
+//
+// The checksum is blockio.Checksum(nrows, payload) — the same FNV-1a the
+// frame format uses. The remaining header fields are validated structurally:
+// magic/version against constants, payloadLen against the image length, and
+// part/nrows against the journal record that committed the page, so a bit
+// flip anywhere in the image is detected.
+
+const (
+	pageMagic     = 0x4750414C // "LAPG" little endian
+	pageVersion   = 1
+	pageHeaderLen = 32
+)
+
+// encodePage builds a page image for one sealed page and reports how many
+// slots of pageBytes it occupies.
+func encodePage(pageBytes int, part, nrows uint32, payload []byte) (data []byte, slots uint32) {
+	phys := pageHeaderLen + len(payload)
+	data = make([]byte, 0, phys)
+	data = binary.LittleEndian.AppendUint32(data, pageMagic)
+	data = binary.LittleEndian.AppendUint16(data, pageVersion)
+	data = binary.LittleEndian.AppendUint16(data, 0) // flags
+	data = binary.LittleEndian.AppendUint32(data, part)
+	data = binary.LittleEndian.AppendUint32(data, nrows)
+	data = binary.LittleEndian.AppendUint32(data, uint32(len(payload)))
+	data = binary.LittleEndian.AppendUint32(data, 0) // reserved
+	data = binary.LittleEndian.AppendUint64(data, blockio.Checksum(nrows, payload))
+	data = append(data, payload...)
+	return data, uint32((phys + pageBytes - 1) / pageBytes)
+}
+
+// decodePage validates a page image against the journal record that committed
+// it and returns the row payload, which aliases data.
+func decodePage(data []byte, pi pageInfo) ([]byte, error) {
+	if len(data) < pageHeaderLen {
+		return nil, fmt.Errorf("storage: page at slot %d: short image (%d bytes)", pi.Slot, len(data))
+	}
+	if got := binary.LittleEndian.Uint32(data); got != pageMagic {
+		return nil, fmt.Errorf("storage: page at slot %d: bad magic %#x", pi.Slot, got)
+	}
+	if got := binary.LittleEndian.Uint16(data[4:]); got != pageVersion {
+		return nil, fmt.Errorf("storage: page at slot %d: version %d (this build reads version %d)", pi.Slot, got, pageVersion)
+	}
+	part := binary.LittleEndian.Uint32(data[8:])
+	nrows := binary.LittleEndian.Uint32(data[12:])
+	payloadLen := binary.LittleEndian.Uint32(data[16:])
+	sum := binary.LittleEndian.Uint64(data[24:])
+	if part != pi.Part || nrows != pi.Rows {
+		return nil, fmt.Errorf("storage: page at slot %d: header part=%d rows=%d disagrees with journal part=%d rows=%d",
+			pi.Slot, part, nrows, pi.Part, pi.Rows)
+	}
+	if int(payloadLen) != len(data)-pageHeaderLen {
+		return nil, fmt.Errorf("storage: page at slot %d: payload length %d in a %d-byte image", pi.Slot, payloadLen, len(data))
+	}
+	payload := data[pageHeaderLen:]
+	if got := blockio.Checksum(nrows, payload); got != sum {
+		return nil, fmt.Errorf("storage: page at slot %d: checksum mismatch (stored %016x, computed %016x)", pi.Slot, sum, got)
+	}
+	return payload, nil
+}

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# storage_smoke.sh exercises persistent storage end-to-end from the CLI
+# surface: it starts `lasql -serve -data <dir>`, creates and loads a table
+# through a client, snapshots query results, SIGKILLs the server mid-flight,
+# reopens the same data directory in a fresh process, and requires the
+# reopened tables to reproduce the pre-kill results exactly. A second batch
+# run then checks the directory is still writable after recovery.
+#
+# Usage: scripts/storage_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/lasql" ./cmd/lasql
+
+DATA="$WORK/data"
+PORT=$(( (RANDOM % 10000) + 42000 ))
+ADDR="127.0.0.1:${PORT}"
+
+cat > "$WORK/load.sql" <<'SQL'
+CREATE TABLE pts (g INTEGER, v DOUBLE) PARTITION BY HASH (g);
+CREATE TABLE vecs (id INTEGER, x VECTOR[4]);
+INSERT INTO pts VALUES (0, 1.5), (1, 2.5), (0, 3.0), (2, 4.25), (1, 0.75);
+INSERT INTO vecs VALUES (1, zeros_vector(4) + 2), (2, zeros_vector(4));
+SQL
+
+cat > "$WORK/query.sql" <<'SQL'
+SELECT g, SUM(v) AS total FROM pts GROUP BY g ORDER BY g;
+SELECT id, inner_product(x, x) AS nrm FROM vecs ORDER BY id;
+SELECT COUNT(*) FROM pts;
+SQL
+
+# Per-query shuffle stats vary with what else ran in the process; strip the
+# stats suffix and compare the relations (schema + rows + row count).
+rows_only() { sed -E 's/^\(([0-9]+ rows);.*\)$/(\1)/' "$1"; }
+
+FAIL=0
+
+"$WORK/lasql" -serve "$ADDR" -data "$DATA" -pool-bytes $((256 * 1024)) \
+  2> "$WORK/server.log" &
+SERVER_PID=$!
+disown "$SERVER_PID" # keep bash from reporting the deliberate SIGKILL
+
+for _ in $(seq 1 50); do
+  if "$WORK/lasql" -client "$ADDR" </dev/null >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+if ! "$WORK/lasql" -client "$ADDR" "$WORK/load.sql" > /dev/null 2> "$WORK/load.err"; then
+  echo "storage_smoke: load failed:" >&2
+  cat "$WORK/load.err" >&2
+  FAIL=1
+fi
+if ! "$WORK/lasql" -client "$ADDR" "$WORK/query.sql" > "$WORK/before.out" 2> "$WORK/before.err"; then
+  echo "storage_smoke: pre-kill query failed:" >&2
+  cat "$WORK/before.err" >&2
+  FAIL=1
+fi
+
+# Crash without any shutdown path: committed state must survive on disk and
+# the (kernel-released) directory lock must not wedge the next open.
+kill -9 "$SERVER_PID" 2>/dev/null || true
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+
+if ! "$WORK/lasql" -data "$DATA" "$WORK/query.sql" > "$WORK/after.out" 2> "$WORK/after.err"; then
+  echo "storage_smoke: reopen after SIGKILL failed:" >&2
+  cat "$WORK/after.err" >&2
+  FAIL=1
+fi
+rows_only "$WORK/before.out" > "$WORK/before.rows"
+rows_only "$WORK/after.out" > "$WORK/after.rows"
+if ! cmp -s "$WORK/before.rows" "$WORK/after.rows"; then
+  echo "storage_smoke: reopened results differ from pre-kill results" >&2
+  diff "$WORK/before.rows" "$WORK/after.rows" >&2 || true
+  FAIL=1
+fi
+
+# The recovered directory must keep accepting writes.
+cat > "$WORK/append.sql" <<'SQL'
+INSERT INTO pts VALUES (3, 9.5);
+SELECT COUNT(*) FROM pts;
+SQL
+if ! "$WORK/lasql" -data "$DATA" "$WORK/append.sql" > "$WORK/append.out" 2> "$WORK/append.err"; then
+  echo "storage_smoke: post-recovery insert failed:" >&2
+  cat "$WORK/append.err" >&2
+  FAIL=1
+elif ! grep -q "^6$" "$WORK/append.out"; then
+  echo "storage_smoke: post-recovery COUNT(*) is not 6:" >&2
+  cat "$WORK/append.out" >&2
+  FAIL=1
+fi
+
+if [[ "$FAIL" != 0 ]]; then
+  echo "storage_smoke: FAILED" >&2
+  exit 1
+fi
+echo "storage_smoke: ok (SIGKILL recovery reproduced pre-kill results; directory writable after restart)"

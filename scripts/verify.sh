@@ -4,8 +4,9 @@
 # over the concurrent packages (the simulated cluster, the executor, the
 # BLAS-like kernels, the server, and the benchmark harness that drives them),
 # the batch-executor equivalence tests under the race detector, the benchmark
-# smokes (including the row-vs-batch identity sweep), and the end-to-end
-# server smoke.
+# smokes (including the row-vs-batch identity sweep and the buffer-pool
+# storage sweep), the end-to-end server smoke, and the SIGKILL
+# restart-recovery smoke over a persistent data directory.
 #
 # Every gate runs even if an earlier one fails (except that a failed build
 # skips the gates that cannot run without a building tree); the run ends with
@@ -52,13 +53,16 @@ if [[ $BUILD_OK == 1 ]]; then
   gate "go test" go test -short ./...
   gate "go test -race" go test -race ./internal/cluster/ ./internal/exec/ ./internal/linalg/ ./internal/bench/ ./internal/spill/ ./internal/fault/ ./internal/serve/ ./internal/core/
   gate "batch race" go test -race -run Batch -count=1 ./internal/core/ ./internal/exec/ ./internal/value/
+  gate "storage race" go test -race -count=1 ./internal/storage/ ./internal/blockio/
   gate "kernel smoke" go run ./cmd/labench -kernels -smoke -out ""
   gate "spill smoke" go run ./cmd/labench -spill -smoke
   gate "faults smoke" go run ./cmd/labench -faults -smoke
   gate "batch smoke" go run ./cmd/labench -batch -smoke -out ""
+  gate "storage smoke" go run ./cmd/labench -storage -smoke -out ""
   gate "serve smoke" bash scripts/serve_smoke.sh
+  gate "restart smoke" bash scripts/storage_smoke.sh
 else
-  for g in "go vet" "lalint" "go test" "go test -race" "batch race" "kernel smoke" "spill smoke" "faults smoke" "batch smoke" "serve smoke"; do
+  for g in "go vet" "lalint" "go test" "go test -race" "batch race" "storage race" "kernel smoke" "spill smoke" "faults smoke" "batch smoke" "storage smoke" "serve smoke" "restart smoke"; do
     skip "$g" "build failed"
   done
 fi
