@@ -42,6 +42,15 @@
 //
 //	labench -faults                           full sweep, 3 seeds x 2 legs
 //	labench -faults -smoke                    seconds-long smoke sweep
+//
+// The optimizer sweep compares each LA query with and without the algebraic
+// rewrite layer, hard-failing on result divergence, on queries where no
+// rewrite fired, and (in full mode) on speedups below the floor; it also
+// verifies adaptive re-optimization fires under a seeded mis-estimate. It
+// writes BENCH_opt.json:
+//
+//	labench -opt                              full sweep
+//	labench -opt -smoke                       seconds-long smoke sweep
 package main
 
 import (
@@ -63,7 +72,8 @@ func main() {
 	spillSweep := flag.Bool("spill", false, "run the out-of-core spill sweep instead of the figures")
 	faultSweep := flag.Bool("faults", false, "run the deterministic fault-injection sweep instead of the figures")
 	storageSweep := flag.Bool("storage", false, "run the persistent-storage buffer-pool sweep instead of the figures")
-	smoke := flag.Bool("smoke", false, "with -kernels, -batch, -spill, -faults or -storage: tiny sizes for a seconds-long smoke run")
+	optSweep := flag.Bool("opt", false, "run the optimizer rewrite + adaptive re-optimization sweep instead of the figures")
+	smoke := flag.Bool("smoke", false, "with -kernels, -batch, -spill, -faults, -storage or -opt: tiny sizes for a seconds-long smoke run")
 	out := flag.String("out", "BENCH_kernels.json", "with -kernels: JSON output path (empty = don't write)")
 	flag.Parse()
 
@@ -93,6 +103,39 @@ func main() {
 			}
 			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "labench: batch: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return
+	}
+
+	if *optSweep {
+		ocfg := bench.DefaultOptConfig()
+		if *smoke {
+			ocfg = bench.SmokeOptConfig()
+		}
+		if *seed != 0 {
+			ocfg.Seed = *seed
+		}
+		rep, err := bench.RunOptSweep(ocfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "labench: opt: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		path := *out
+		if path == "BENCH_kernels.json" {
+			path = "BENCH_opt.json"
+		}
+		if path != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "labench: opt: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "labench: opt: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", path)

@@ -21,12 +21,15 @@ var AliascheckAnalyzer = &Analyzer{
 }
 
 // aliasScope: the packages that move rows between partitions or across
-// connections.
+// connections. internal/opt is included because adaptive re-planning hands
+// executed leaf relations (row-bearing Bound inputs) back through the
+// optimizer.
 var aliasScope = []string{
 	"internal/cluster",
 	"internal/exec",
 	"internal/serve",
 	"internal/storage",
+	"internal/opt",
 }
 
 func runAliascheck(pass *Pass) {

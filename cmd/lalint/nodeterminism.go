@@ -18,6 +18,9 @@ var NodeterminismAnalyzer = &Analyzer{
 // nondetScope lists the package suffixes that must stay seed-deterministic.
 // internal/spill is included because run files are replayed into query
 // results: spill-file contents and ordering must be identical across runs.
+// internal/opt is included because plan choice (join order, rewrite output,
+// CSE column order) must be identical across runs for golden-plan tests and
+// the rewritten-vs-baseline identity sweep to mean anything.
 var nondetScope = []string{
 	"internal/cluster",
 	"internal/exec",
@@ -26,6 +29,7 @@ var nondetScope = []string{
 	"internal/spill",
 	"internal/fault",
 	"internal/storage",
+	"internal/opt",
 }
 
 func runNodeterminism(pass *Pass) {

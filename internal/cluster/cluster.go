@@ -111,6 +111,7 @@ type Stats struct {
 	FaultsInjected      atomic.Int64 // faults the injector fired
 	TaskRetries         atomic.Int64 // partition-task re-executions after transient failure
 	SpeculativeLaunches atomic.Int64 // backup attempts launched against stragglers
+	Replans             atomic.Int64 // join regions re-optimized mid-query on cardinality divergence
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -126,6 +127,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		FaultsInjected:      s.FaultsInjected.Load(),
 		TaskRetries:         s.TaskRetries.Load(),
 		SpeculativeLaunches: s.SpeculativeLaunches.Load(),
+		Replans:             s.Replans.Load(),
 	}
 }
 
@@ -141,6 +143,7 @@ type StatsSnapshot struct {
 	FaultsInjected      int64
 	TaskRetries         int64
 	SpeculativeLaunches int64
+	Replans             int64
 }
 
 func (s StatsSnapshot) String() string {
@@ -152,6 +155,9 @@ func (s StatsSnapshot) String() string {
 	if s.FaultsInjected > 0 || s.TaskRetries > 0 || s.SpeculativeLaunches > 0 {
 		out += fmt.Sprintf(", injected %d faults (%d retries, %d speculative launches)",
 			s.FaultsInjected, s.TaskRetries, s.SpeculativeLaunches)
+	}
+	if s.Replans > 0 {
+		out += fmt.Sprintf(", re-planned %d join regions", s.Replans)
 	}
 	return out
 }

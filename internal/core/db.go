@@ -59,6 +59,13 @@ type Config struct {
 	// storage.DefaultPageBytes for a fresh directory, and an existing
 	// directory's manifest always wins.
 	PageBytes int
+	// ReplanFactor enables adaptive mid-query re-optimization: when the
+	// observed cardinality of a join region's input diverges from its
+	// estimate by more than this factor (either direction), the region's
+	// join order is re-derived with the materialized inputs pinned. 0 (the
+	// default) or any value <= 1 disables adaptivity. Re-plans are counted
+	// in cluster Stats.Replans.
+	ReplanFactor float64
 }
 
 // DefaultConfig simulates the paper's 10-node cluster with the full
@@ -687,6 +694,15 @@ func (db *Database) ExecutePlanned(optimized plan.Node, rsrc Resources) (res *Re
 		KernelWorkers:         db.kernelWorkers(rsrc),
 		BatchSize:             db.cfg.BatchSize,
 	}
+	if db.cfg.ReplanFactor > 1 {
+		replanner := opt.New(db.cfg.Optimizer)
+		ctx.Adaptive = &exec.Adaptive{
+			Factor:   db.cfg.ReplanFactor,
+			Estimate: opt.EstimateRows,
+			Replan:   replanner.Replan,
+			OnReplan: func() { stats.Replans.Add(1) },
+		}
+	}
 	resolved, err := db.resolveSubqueries(ctx, optimized)
 	if err != nil {
 		return nil, err
@@ -711,6 +727,7 @@ func (db *Database) ExecutePlanned(optimized plan.Node, rsrc Resources) (res *Re
 			FaultsInjected:      after.FaultsInjected - before.FaultsInjected,
 			TaskRetries:         after.TaskRetries - before.TaskRetries,
 			SpeculativeLaunches: after.SpeculativeLaunches - before.SpeculativeLaunches,
+			Replans:             after.Replans - before.Replans,
 		},
 	}, nil
 }

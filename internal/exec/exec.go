@@ -161,6 +161,17 @@ type Context struct {
 	// bit-identical either way (except LIMIT over a fused pipeline, which
 	// stops producing at the limit instead of materializing first).
 	BatchSize int
+	// Adaptive, when non-nil with Factor > 1, enables mid-query
+	// re-optimization of join regions whose observed input cardinalities
+	// diverge from their estimates; see Adaptive.
+	Adaptive *Adaptive
+
+	// bound caches relations materialized during adaptive re-optimization,
+	// keyed by the plan node that produced them; plan.Bound leaves resolve
+	// here. adaptiveHandled marks join regions already checked, so a query
+	// re-plans each region at most once.
+	bound           map[plan.Node]*Relation
+	adaptiveHandled map[plan.Node]bool
 }
 
 // EvalCtx returns the expression-evaluation context for this query. The
@@ -210,6 +221,10 @@ func valsFootprint(vals []value.Value) int64 {
 
 // Run executes a plan and returns the materialized result.
 func Run(ctx *Context, n plan.Node) (*Relation, error) {
+	// A subtree materialized during adaptive re-optimization never re-runs.
+	if rel, ok := ctx.bound[n]; ok {
+		return rel, nil
+	}
 	switch x := n.(type) {
 	case *plan.Scan:
 		return runScan(ctx, x)
@@ -224,9 +239,28 @@ func Run(ctx *Context, n plan.Node) (*Relation, error) {
 		}
 		return runFilter(ctx, x)
 	case *plan.Join:
-		return runJoin(ctx, x)
+		adapted, err := adaptPlan(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		if j, still := adapted.(*plan.Join); still {
+			return runJoin(ctx, j)
+		}
+		return Run(ctx, adapted)
 	case *plan.Cross:
-		return runCross(ctx, x)
+		adapted, err := adaptPlan(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		if c, still := adapted.(*plan.Cross); still {
+			return runCross(ctx, c)
+		}
+		return Run(ctx, adapted)
+	case *plan.Bound:
+		if rel, ok := ctx.bound[x.Input]; ok {
+			return rel, nil
+		}
+		return Run(ctx, x.Input)
 	case *plan.Agg:
 		return runAgg(ctx, x)
 	case *plan.Sort:
@@ -296,6 +330,16 @@ func flatten(parts [][]value.Row) []value.Row {
 }
 
 func runProject(ctx *Context, p *plan.Project) (*Relation, error) {
+	// The projection-over-join fusion below bypasses Run's Join/Cross cases,
+	// so the adaptive check must happen here too before the region executes.
+	switch p.Input.(type) {
+	case *plan.Join, *plan.Cross:
+		adapted, err := adaptPlan(ctx, p.Input)
+		if err != nil {
+			return nil, err
+		}
+		p = &plan.Project{Input: adapted, Exprs: p.Exprs, Out: p.Out}
+	}
 	// Fuse a projection directly above a join into the join itself: the
 	// concatenated row is built transiently per match and only the
 	// projected row materializes. This is what makes the optimizer's eager

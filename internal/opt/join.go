@@ -87,9 +87,11 @@ func (o *Optimizer) planMultiJoin(mj *plan.MultiJoin, consumed []plan.Expr) (pla
 		}
 	}
 
-	// Optimize inputs and set base cardinalities.
+	// Optimize inputs and set base cardinalities. The rewrite pass (when
+	// enabled) already covered these subtrees on the way in, so this is the
+	// join-ordering recursion only.
 	for _, in := range mj.Inputs {
-		oin, err := o.Optimize(in)
+		oin, err := o.optimizeNode(in)
 		if err != nil {
 			return nil, nil, err
 		}

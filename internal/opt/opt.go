@@ -32,6 +32,17 @@ type Options struct {
 	// MaxDPRelations bounds exhaustive DP enumeration; larger join sets
 	// fall back to a greedy pairing.
 	MaxDPRelations int
+	// Rewrites enables the algebraic rewrite pass that runs before join
+	// ordering: matrix-chain reordering, outer-product recognition,
+	// double-transpose elimination, filter pushdown through projections,
+	// aggregate pushdown through linear LA functions, common-subexpression
+	// elimination, and explicit fused-aggregation marking. Disabling it
+	// (ablation; the benchmark's baseline leg) leaves expressions exactly as
+	// the builder produced them.
+	Rewrites bool
+	// Stats, when non-nil, counts the rewrite rules that fire; the benchmark
+	// harness uses it to hard-fail sweeps where no rewrite applied.
+	Stats *RewriteStats
 }
 
 // DefaultOptions enables the full §4 behaviour.
@@ -41,12 +52,14 @@ func DefaultOptions() Options {
 		EagerProjection:  true,
 		DefaultDim:       100,
 		MaxDPRelations:   10,
+		Rewrites:         true,
 	}
 }
 
 // Optimizer rewrites logical plans.
 type Optimizer struct {
-	opts Options
+	opts  Options
+	stats *RewriteStats
 }
 
 // New returns an optimizer with the given options.
@@ -57,12 +70,30 @@ func New(opts Options) *Optimizer {
 	if opts.MaxDPRelations <= 0 {
 		opts.MaxDPRelations = 10
 	}
-	return &Optimizer{opts: opts}
+	st := opts.Stats
+	if st == nil {
+		st = &RewriteStats{}
+	}
+	return &Optimizer{opts: opts, stats: st}
 }
 
-// Optimize rewrites the plan: MultiJoin nodes become ordered Join/Cross
-// trees with pushed-down filters and (optionally) eager projections.
+// Optimize rewrites the plan: the algebraic rewrite pass normalizes the
+// expression trees, then MultiJoin nodes become ordered Join/Cross trees
+// with pushed-down filters and (optionally) eager projections.
 func (o *Optimizer) Optimize(n plan.Node) (plan.Node, error) {
+	if o.opts.Rewrites {
+		rw, err := o.rewrite(n)
+		if err != nil {
+			return nil, err
+		}
+		n = rw
+	}
+	return o.optimizeNode(n)
+}
+
+// optimizeNode is the join-ordering pass; the rewrite pass (when enabled)
+// already ran over the whole tree, so internal recursion re-enters here.
+func (o *Optimizer) optimizeNode(n plan.Node) (plan.Node, error) {
 	switch x := n.(type) {
 	case *plan.Project:
 		if mj, ok := x.Input.(*plan.MultiJoin); ok {
@@ -72,7 +103,7 @@ func (o *Optimizer) Optimize(n plan.Node) (plan.Node, error) {
 			}
 			return &plan.Project{Input: node, Exprs: rewritten, Out: x.Out}, nil
 		}
-		in, err := o.Optimize(x.Input)
+		in, err := o.optimizeNode(x.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -105,29 +136,56 @@ func (o *Optimizer) Optimize(n plan.Node) (plan.Node, error) {
 			}
 			return ng, nil
 		}
-		in, err := o.Optimize(x.Input)
+		in, err := o.optimizeNode(x.Input)
 		if err != nil {
 			return nil, err
 		}
 		return &plan.Agg{Input: in, GroupBy: x.GroupBy, Aggs: x.Aggs, Out: x.Out}, nil
 	case *plan.Filter:
-		in, err := o.Optimize(x.Input)
+		in, err := o.optimizeNode(x.Input)
 		if err != nil {
 			return nil, err
 		}
 		return &plan.Filter{Input: in, Pred: x.Pred}, nil
 	case *plan.Sort:
-		in, err := o.Optimize(x.Input)
+		in, err := o.optimizeNode(x.Input)
 		if err != nil {
 			return nil, err
 		}
 		return &plan.Sort{Input: in, Keys: x.Keys}, nil
 	case *plan.Limit:
-		in, err := o.Optimize(x.Input)
+		in, err := o.optimizeNode(x.Input)
 		if err != nil {
 			return nil, err
 		}
 		return &plan.Limit{Input: in, N: x.N}, nil
+	case *plan.Join:
+		// Already-built joins still recurse structurally: a MultiJoin nested
+		// under one (a re-planned region, a hand-assembled plan) must not
+		// reach the executor unplanned.
+		l, err := o.optimizeNode(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := o.optimizeNode(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Join{L: l, R: r, LKeys: x.LKeys, RKeys: x.RKeys, Residual: x.Residual, Out: x.Out}, nil
+	case *plan.Cross:
+		l, err := o.optimizeNode(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := o.optimizeNode(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Cross{L: l, R: r, Residual: x.Residual, Out: x.Out}, nil
+	case *plan.Bound:
+		// A Bound subtree was already executed; re-optimizing below it would
+		// desynchronize the node identity the executor's cache is keyed on.
+		return x, nil
 	case *plan.MultiJoin:
 		// A bare MultiJoin (no consumer expressions): keep every column.
 		idents := make([]plan.Expr, len(x.Out))
@@ -159,9 +217,12 @@ func EstimateRows(n plan.Node) float64 {
 	case *plan.Scan:
 		return math.Max(1, float64(x.Table.RowCount()))
 	case *plan.Filter:
-		return math.Max(1, EstimateRows(x.Input)/3)
+		rows := EstimateRows(x.Input)
+		return math.Max(1, rows*filterSelectivity(x.Input, x.Pred, rows))
 	case *plan.Project:
 		return EstimateRows(x.Input)
+	case *plan.Bound:
+		return math.Max(1, x.Rows)
 	case *plan.Agg:
 		if len(x.GroupBy) == 0 {
 			return 1
@@ -172,7 +233,19 @@ func EstimateRows(n plan.Node) float64 {
 	case *plan.Limit:
 		return math.Min(float64(x.N), EstimateRows(x.Input))
 	case *plan.Join:
-		return math.Max(1, EstimateRows(x.L)*EstimateRows(x.R)/10)
+		// Key-aware equi-join selectivity: matching rows pair up through the
+		// key's value space, so the join produces |L|·|R|/max(d_L, d_R) rows
+		// per key (the classic System R estimate), not a fixed tenth.
+		l, r := EstimateRows(x.L), EstimateRows(x.R)
+		rows := l * r
+		if len(x.LKeys) == 0 {
+			return math.Max(1, rows/10)
+		}
+		for i := range x.LKeys {
+			d := math.Max(distinctOf(x.L, x.LKeys[i], l), distinctOf(x.R, x.RKeys[i], r))
+			rows /= math.Max(1, d)
+		}
+		return math.Max(1, rows)
 	case *plan.Cross:
 		return EstimateRows(x.L) * EstimateRows(x.R)
 	case *plan.MultiJoin:
@@ -189,8 +262,11 @@ func EstimateRows(n plan.Node) float64 {
 }
 
 // distinctOf estimates the number of distinct values of a join key
-// expression over the given input. Only simple column references over base
-// tables get catalog statistics; everything else defaults to the row count.
+// expression over the given input. Only simple column references that trace
+// back to base tables get catalog statistics; everything else defaults to
+// the row count. Projections that merely pass a column through keep its
+// source statistics (losing them was how join selectivity silently fell
+// back to the row count whenever an input was pruned or eagerly projected).
 func distinctOf(input plan.Node, key plan.Expr, rows float64) float64 {
 	col, ok := key.(*plan.Col)
 	if !ok {
@@ -201,8 +277,40 @@ func distinctOf(input plan.Node, key plan.Expr, rows float64) float64 {
 		return clampDistinct(x.Table.Distinct(col.Name), rows)
 	case *plan.Filter:
 		return distinctOf(x.Input, key, rows)
+	case *plan.Bound:
+		return distinctOf(x.Input, key, math.Min(rows, math.Max(1, x.Rows)))
+	case *plan.Project:
+		if col.Idx >= 0 && col.Idx < len(x.Exprs) {
+			if src, isCol := x.Exprs[col.Idx].(*plan.Col); isCol {
+				return distinctOf(x.Input, src, rows)
+			}
+		}
 	}
 	return math.Max(1, rows)
+}
+
+// filterSelectivity estimates the fraction of rows surviving a predicate:
+// an equality against a constant keeps one value's share of the column's
+// distinct values, conjunctions multiply, and anything else keeps the
+// traditional third.
+func filterSelectivity(input plan.Node, pred plan.Expr, rows float64) float64 {
+	if be, ok := pred.(*plan.Binary); ok {
+		switch {
+		case be.Kind == plan.BinLogic && be.Op == "AND":
+			return filterSelectivity(input, be.L, rows) * filterSelectivity(input, be.R, rows)
+		case be.Kind == plan.BinCompare && be.Op == "=":
+			var colSide plan.Expr
+			if _, isConst := be.R.(*plan.Const); isConst {
+				colSide = be.L
+			} else if _, isConst := be.L.(*plan.Const); isConst {
+				colSide = be.R
+			}
+			if col, isCol := colSide.(*plan.Col); isCol {
+				return 1 / distinctOf(input, col, rows)
+			}
+		}
+	}
+	return 1.0 / 3
 }
 
 func clampDistinct(d, rows float64) float64 {

@@ -1,0 +1,132 @@
+package opt
+
+// Adaptive re-optimization: when the executor reaches a join region whose
+// input cardinalities diverge badly from the estimates the plan was chosen
+// under, it hands the region back here. Replan decomposes the already-ordered
+// Join/Cross tree into the flat MultiJoin form the join enumerator consumes,
+// wraps every leaf in a Bound node carrying its observed row count, and runs
+// enumeration again — so the new order is picked with true cardinalities. The
+// executor resolves each Bound to the relation it already materialized;
+// nothing below a leaf re-executes.
+
+import (
+	"fmt"
+	"math"
+
+	"relalg/internal/plan"
+	"relalg/internal/types"
+)
+
+// Replan re-orders a Join/Cross region using observed leaf cardinalities.
+// root must be the region's top node; observed returns the materialized row
+// count for each region leaf (a leaf is any non-Join, non-Cross child).
+// Regions with fewer than two leaves are returned unchanged.
+func (o *Optimizer) Replan(root plan.Node, observed func(plan.Node) (float64, bool)) (plan.Node, error) {
+	var (
+		leaves    []plan.Node
+		conjuncts []plan.Expr
+	)
+	var walk func(n plan.Node) (int, error) // returns subtree width
+	walk = func(n plan.Node) (int, error) {
+		switch x := n.(type) {
+		case *plan.Join:
+			off := widthSoFar(leaves)
+			lw, err := walk(x.L)
+			if err != nil {
+				return 0, err
+			}
+			rw, err := walk(x.R)
+			if err != nil {
+				return 0, err
+			}
+			for i := range x.LKeys {
+				l, err := shiftExpr(x.LKeys[i], off)
+				if err != nil {
+					return 0, err
+				}
+				r, err := shiftExpr(x.RKeys[i], off+lw)
+				if err != nil {
+					return 0, err
+				}
+				conjuncts = append(conjuncts, &plan.Binary{
+					Op: "=", Kind: plan.BinCompare, L: l, R: r, T: types.TBool,
+				})
+			}
+			for _, res := range x.Residual {
+				se, err := shiftExpr(res, off)
+				if err != nil {
+					return 0, err
+				}
+				conjuncts = append(conjuncts, se)
+			}
+			return lw + rw, nil
+		case *plan.Cross:
+			off := widthSoFar(leaves)
+			lw, err := walk(x.L)
+			if err != nil {
+				return 0, err
+			}
+			rw, err := walk(x.R)
+			if err != nil {
+				return 0, err
+			}
+			for _, res := range x.Residual {
+				se, err := shiftExpr(res, off)
+				if err != nil {
+					return 0, err
+				}
+				conjuncts = append(conjuncts, se)
+			}
+			return lw + rw, nil
+		default:
+			rows, ok := observed(n)
+			if !ok {
+				return 0, fmt.Errorf("opt: replan leaf %T has no observed cardinality", n)
+			}
+			leaves = append(leaves, &plan.Bound{Input: n, Rows: math.Max(1, rows), Out: n.Schema()})
+			return len(n.Schema()), nil
+		}
+	}
+	width, err := walk(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(leaves) < 2 {
+		return root, nil
+	}
+	// Join and Cross output schemas are exact concatenations of their
+	// children's, so the region's global column space is the in-order concat
+	// of the leaf schemas.
+	out := make(plan.Schema, 0, width)
+	for _, l := range leaves {
+		out = append(out, l.Schema()...)
+	}
+	if len(out) != len(root.Schema()) {
+		return nil, fmt.Errorf("opt: replan width mismatch: region %d cols, leaves %d", len(root.Schema()), len(out))
+	}
+	mj := &plan.MultiJoin{Inputs: leaves, Conjuncts: conjuncts, Out: out}
+	return o.optimizeNode(mj)
+}
+
+// widthSoFar is the number of columns contributed by the leaves collected so
+// far — the global offset of the next leaf's first column.
+func widthSoFar(leaves []plan.Node) int {
+	w := 0
+	for _, l := range leaves {
+		w += len(l.Schema())
+	}
+	return w
+}
+
+// shiftExpr relocates an expression from a subtree's local column space into
+// the region's global one by adding off to every column index.
+func shiftExpr(e plan.Expr, off int) (plan.Expr, error) {
+	if off == 0 {
+		return e, nil
+	}
+	mapping := map[int]int{}
+	for _, idx := range plan.ColsUsed(e) {
+		mapping[idx] = idx + off
+	}
+	return plan.Remap(e, mapping)
+}

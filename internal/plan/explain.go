@@ -86,6 +86,9 @@ func explain(b *strings.Builder, n Node, depth int) {
 	case *Limit:
 		fmt.Fprintf(b, "%sLimit %d\n", indent, x.N)
 		explain(b, x.Input, depth+1)
+	case *Bound:
+		fmt.Fprintf(b, "%sBound rows=%g\n", indent, x.Rows)
+		explain(b, x.Input, depth+1)
 	case *OneRow:
 		fmt.Fprintf(b, "%sOneRow\n", indent)
 	default:

@@ -126,11 +126,28 @@ func (c *Cross) Schema() Schema { return c.Out }
 // Children implements Node.
 func (c *Cross) Children() []Node { return []Node{c.L, c.R} }
 
+// FuseKind is the optimizer's decision about fused accumulation for one
+// aggregate call. The zero value (FuseAuto) leaves the choice to the
+// executor's pattern matching, which keeps hand-built plans and plans from a
+// rewrites-disabled optimizer behaving exactly as before the decision moved
+// into the optimizer.
+type FuseKind uint8
+
+// Fuse decisions.
+const (
+	FuseAuto      FuseKind = iota // executor pattern-matches (legacy behaviour)
+	FuseNone                      // optimizer determined no fusion applies
+	FuseOuterSum                  // accumulate SUM(outer_product(x, y)) in place
+	FuseMatMulSum                 // accumulate SUM(matrix_multiply(a, b)) in place
+)
+
 // AggCall is one aggregate in an Agg node. Input is nil for COUNT(*).
 type AggCall struct {
 	Spec  *builtins.AggSpec
 	Input Expr
 	T     types.T
+	// Fuse records the optimizer's fused-accumulation decision; see FuseKind.
+	Fuse FuseKind
 }
 
 // Agg groups by the GroupBy expressions and computes the aggregate calls.
@@ -147,6 +164,23 @@ func (a *Agg) Schema() Schema { return a.Out }
 
 // Children implements Node.
 func (a *Agg) Children() []Node { return []Node{a.Input} }
+
+// Bound wraps a subtree whose result the executor has already materialized
+// during adaptive re-optimization: Rows is the observed cardinality. The
+// optimizer treats a Bound node as an opaque leaf with an exact row estimate
+// and never rewrites below it; the executor resolves it to the cached
+// relation of the wrapped node.
+type Bound struct {
+	Input Node
+	Rows  float64
+	Out   Schema
+}
+
+// Schema implements Node.
+func (b *Bound) Schema() Schema { return b.Out }
+
+// Children implements Node.
+func (b *Bound) Children() []Node { return []Node{b.Input} }
 
 // OrderKey is one sort key over the node's output columns.
 type OrderKey struct {

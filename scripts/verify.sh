@@ -4,9 +4,10 @@
 # over the concurrent packages (the simulated cluster, the executor, the
 # BLAS-like kernels, the server, and the benchmark harness that drives them),
 # the batch-executor equivalence tests under the race detector, the benchmark
-# smokes (including the row-vs-batch identity sweep and the buffer-pool
-# storage sweep), the end-to-end server smoke, and the SIGKILL
-# restart-recovery smoke over a persistent data directory.
+# smokes (including the row-vs-batch identity sweep, the buffer-pool storage
+# sweep, and the optimizer rewrite/adaptive-replan identity sweep), the
+# end-to-end server smoke, and the SIGKILL restart-recovery smoke over a
+# persistent data directory.
 #
 # Every gate runs even if an earlier one fails (except that a failed build
 # skips the gates that cannot run without a building tree); the run ends with
@@ -59,10 +60,11 @@ if [[ $BUILD_OK == 1 ]]; then
   gate "faults smoke" go run ./cmd/labench -faults -smoke
   gate "batch smoke" go run ./cmd/labench -batch -smoke -out ""
   gate "storage smoke" go run ./cmd/labench -storage -smoke -out ""
+  gate "opt smoke" go run ./cmd/labench -opt -smoke -out ""
   gate "serve smoke" bash scripts/serve_smoke.sh
   gate "restart smoke" bash scripts/storage_smoke.sh
 else
-  for g in "go vet" "lalint" "go test" "go test -race" "batch race" "storage race" "kernel smoke" "spill smoke" "faults smoke" "batch smoke" "storage smoke" "serve smoke" "restart smoke"; do
+  for g in "go vet" "lalint" "go test" "go test -race" "batch race" "storage race" "kernel smoke" "spill smoke" "faults smoke" "batch smoke" "storage smoke" "opt smoke" "serve smoke" "restart smoke"; do
     skip "$g" "build failed"
   done
 fi
